@@ -1,0 +1,286 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation.
+// Each BenchmarkFigXX runs the corresponding experiment (at smoke scale so
+// `go test -bench=.` stays tractable; use cmd/pard-bench -scale full for
+// paper-length traces) and reports the artifact's headline scalar as a
+// custom metric. Run with -v to see the rendered tables.
+package pard_test
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pard"
+	"pard/internal/core"
+	"pard/internal/depq"
+	"pard/internal/pipeline"
+	"pard/internal/policy"
+
+	"math/rand"
+)
+
+var (
+	benchHarness     *pard.ExperimentHarness
+	benchHarnessOnce sync.Once
+)
+
+// harness returns a shared experiment harness so benches reuse cached
+// simulation runs (Figs. 8-10 share all 48 workload×policy runs).
+func harness() *pard.ExperimentHarness {
+	benchHarnessOnce.Do(func() {
+		benchHarness = pard.NewExperimentHarness(pard.ExperimentConfig{Scale: pard.ScaleSmoke, Seed: 1})
+	})
+	return benchHarness
+}
+
+// runExperiment executes one artifact through the shared harness and logs
+// its tables.
+func runExperiment(b *testing.B, id string) *pard.ExperimentOutput {
+	b.Helper()
+	var exp pard.Experiment
+	found := false
+	for _, e := range pard.Experiments() {
+		if e.ID == id {
+			exp, found = e, true
+			break
+		}
+	}
+	if !found {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	var out *pard.ExperimentOutput
+	for i := 0; i < b.N; i++ {
+		var err error
+		out, err = exp.Run(harness())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, t := range out.Tables {
+		b.Log("\n" + t.Render())
+	}
+	return out
+}
+
+// cell parses a table cell as a float, stripping % signs.
+func cell(b *testing.B, s string) float64 {
+	b.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		b.Fatalf("bad cell %q: %v", s, err)
+	}
+	return v
+}
+
+func BenchmarkFig2aMinGoodput(b *testing.B) {
+	out := runExperiment(b, "fig2a")
+	// columns: window, pard, nexus, clipper++, naive
+	b.ReportMetric(cell(b, out.Tables[0].Rows[0][1]), "pard-min-goodput")
+	b.ReportMetric(cell(b, out.Tables[0].Rows[0][4]), "naive-min-goodput")
+}
+
+func BenchmarkFig2bDropRate(b *testing.B) {
+	out := runExperiment(b, "fig2b")
+	b.ReportMetric(cell(b, out.Tables[0].Rows[0][1]), "pard-drop-pct")
+}
+
+func BenchmarkFig2cDropsPerModule(b *testing.B) {
+	out := runExperiment(b, "fig2c")
+	// last-module drop share of lv-tweet under the reactive policy
+	rows := out.Tables[0].Rows
+	b.ReportMetric(cell(b, rows[len(rows)-1][1]), "reactive-lastmod-pct")
+}
+
+func BenchmarkFig2dTransientDropRate(b *testing.B) {
+	out := runExperiment(b, "fig2d")
+	max := 0.0
+	for _, row := range out.Tables[0].Rows {
+		if v := cell(b, row[1]); v > max {
+			max = v
+		}
+	}
+	b.ReportMetric(max, "max-transient-drop-pct")
+}
+
+func BenchmarkFig6BatchWaitPDF(b *testing.B) {
+	out := runExperiment(b, "fig6")
+	// q10 of the full M1..M4 aggregation (paper: 0.31).
+	b.ReportMetric(cell(b, out.Tables[0].Rows[0][1]), "q10-frac")
+}
+
+func BenchmarkFig8DropInvalid(b *testing.B) {
+	out := runExperiment(b, "fig8")
+	var pardSum, nexusSum float64
+	for _, row := range out.Tables[0].Rows {
+		pardSum += cell(b, row[1])
+		nexusSum += cell(b, row[2])
+	}
+	n := float64(len(out.Tables[0].Rows))
+	b.ReportMetric(pardSum/n, "pard-avg-drop-pct")
+	b.ReportMetric(nexusSum/n, "nexus-avg-drop-pct")
+}
+
+func BenchmarkFig9MaxDropWindows(b *testing.B) {
+	out := runExperiment(b, "fig9")
+	b.ReportMetric(float64(len(out.Tables)), "panels")
+}
+
+func BenchmarkFig10GoodputTimeline(b *testing.B) {
+	out := runExperiment(b, "fig10")
+	b.ReportMetric(float64(len(out.Tables)), "panels")
+}
+
+func BenchmarkFig11Ablation(b *testing.B) {
+	out := runExperiment(b, "fig11")
+	for _, row := range out.Tables[0].Rows {
+		if row[0] == "pard" {
+			b.ReportMetric(cell(b, row[1]), "pard-drop-pct")
+		}
+	}
+}
+
+func BenchmarkFig12aConsumedBudget(b *testing.B) {
+	out := runExperiment(b, "fig12a")
+	b.ReportMetric(float64(len(out.Tables[0].Rows)), "time-buckets")
+}
+
+func BenchmarkFig12bLatencyCDF(b *testing.B) {
+	out := runExperiment(b, "fig12b")
+	// median ΣW (ms): the uncertain quantity PARD estimates.
+	for _, row := range out.Tables[0].Rows {
+		if row[0] == "p50" {
+			b.ReportMetric(cell(b, row[2]), "median-sumW-ms")
+		}
+	}
+}
+
+func BenchmarkFig12cQueueingBurst(b *testing.B) {
+	out := runExperiment(b, "fig12c")
+	b.ReportMetric(float64(len(out.Tables)), "policies")
+}
+
+func BenchmarkFig12dRemainingBudget(b *testing.B) {
+	out := runExperiment(b, "fig12d")
+	b.ReportMetric(float64(len(out.Tables[0].Rows)), "requests")
+}
+
+func BenchmarkFig13LoadFactor(b *testing.B) {
+	out := runExperiment(b, "fig13")
+	for _, t := range out.Tables {
+		if t.ID != "fig13-switches" {
+			continue
+		}
+		for _, row := range t.Rows {
+			if row[0] == "pard" {
+				b.ReportMetric(cell(b, row[1]), "pard-switches")
+			}
+			if row[0] == "pard-instant" {
+				b.ReportMetric(cell(b, row[1]), "instant-switches")
+			}
+		}
+	}
+}
+
+func BenchmarkFig14aStress(b *testing.B) {
+	out := runExperiment(b, "fig14a")
+	last := out.Tables[0].Rows[len(out.Tables[0].Rows)-1]
+	b.ReportMetric(cell(b, last[1]), "pard-goodput-at-max-rate")
+	b.ReportMetric(cell(b, last[4]), "naive-goodput-at-max-rate")
+}
+
+func BenchmarkFig14bSLOSensitivity(b *testing.B) {
+	out := runExperiment(b, "fig14b")
+	b.ReportMetric(cell(b, out.Tables[0].Rows[0][1]), "pard-drop-at-200ms")
+}
+
+func BenchmarkFig14cLambdaSensitivity(b *testing.B) {
+	out := runExperiment(b, "fig14c")
+	for _, row := range out.Tables[0].Rows {
+		if row[0] == "0.100" {
+			b.ReportMetric(cell(b, row[1]), "lv-drop-at-lambda-0.1")
+		}
+	}
+}
+
+func BenchmarkFig14dWindowSensitivity(b *testing.B) {
+	out := runExperiment(b, "fig14d")
+	b.ReportMetric(float64(len(out.Tables[0].Rows)), "window-points")
+}
+
+func BenchmarkFig15aRAGGoodput(b *testing.B) {
+	out := runExperiment(b, "fig15a")
+	for _, row := range out.Tables[0].Rows {
+		b.ReportMetric(cell(b, row[2]), row[0]+"-drop-pct")
+	}
+}
+
+func BenchmarkFig15bRAGLatency(b *testing.B) {
+	out := runExperiment(b, "fig15b")
+	b.ReportMetric(float64(len(out.Tables[0].Rows)), "percentiles")
+}
+
+func BenchmarkDAGDynamicPaths(b *testing.B) {
+	out := runExperiment(b, "dag-dynamic")
+	b.ReportMetric(float64(len(out.Tables[0].Rows)), "traces")
+}
+
+// Micro-benchmarks for the §5.4 overhead analysis.
+
+// BenchmarkDEPQOps measures put()/get() on the min-max heap at the queue
+// depths the paper reports O(log n) costs for.
+func BenchmarkDEPQOps(b *testing.B) {
+	q := depq.New[int]()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1024; i++ {
+		q.Push(i, int64(rng.Intn(1<<20)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Push(i, int64(rng.Intn(1<<20)))
+		if i%2 == 0 {
+			q.PopMin()
+		} else {
+			q.PopMax()
+		}
+	}
+}
+
+// BenchmarkStateSync measures one full synchronization round: publishing
+// five modules' state and refreshing PARD's estimator and priority
+// controllers.
+func BenchmarkStateSync(b *testing.B) {
+	spec := pipeline.LV()
+	durs := make([]time.Duration, spec.N())
+	for i := range durs {
+		durs[i] = 30 * time.Millisecond
+	}
+	pol, err := policy.New("pard", policy.Setup{
+		Spec: spec,
+		Durs: durs,
+		Rng:  rand.New(rand.NewSource(1)),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	board := core.NewBoard(spec.N())
+	waits := make([]float64, 512)
+	rng := rand.New(rand.NewSource(2))
+	for i := range waits {
+		waits[i] = rng.Float64() * 0.03
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := 0; k < spec.N(); k++ {
+			board.Publish(k, core.ModuleState{
+				QueueDelay:  5 * time.Millisecond,
+				ProfiledDur: 30 * time.Millisecond,
+				BatchWait:   waits,
+				InputRate:   300,
+				Throughput:  400,
+			})
+		}
+		pol.OnSync(time.Duration(i)*time.Second, board)
+	}
+}

@@ -1,0 +1,155 @@
+// Command pard-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	pard-bench                          # run everything at quick scale
+//	pard-bench -scale full              # paper-length traces
+//	pard-bench -only fig8,fig11         # a subset
+//	pard-bench -out results             # also write text + CSV files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"pard"
+	"pard/internal/plot"
+)
+
+func main() {
+	scale := flag.String("scale", "quick", "experiment scale: smoke, quick, full")
+	only := flag.String("only", "", "comma-separated experiment IDs (default all)")
+	out := flag.String("out", "", "directory for text + CSV outputs (optional)")
+	plots := flag.Bool("plot", false, "render ASCII charts for time-series tables")
+	seed := flag.Int64("seed", 1, "random seed")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range pard.Experiments() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := pard.ExperimentConfig{Scale: pard.ScaleQuick, Seed: *seed}
+	switch *scale {
+	case "smoke":
+		cfg.Scale = pard.ScaleSmoke
+	case "quick":
+		cfg.Scale = pard.ScaleQuick
+	case "full":
+		cfg.Scale = pard.ScaleFull
+	default:
+		fatal(fmt.Errorf("unknown scale %q", *scale))
+	}
+
+	selected := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			selected[strings.TrimSpace(id)] = true
+		}
+	}
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+
+	harness := pard.NewExperimentHarness(cfg)
+	start := time.Now()
+	ran := 0
+	for _, e := range pard.Experiments() {
+		if len(selected) > 0 && !selected[e.ID] {
+			continue
+		}
+		t0 := time.Now()
+		output, err := e.Run(harness)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		ran++
+		fmt.Printf("=== %s — %s (%.1fs)\n\n", e.ID, e.Title, time.Since(t0).Seconds())
+		for _, tab := range output.Tables {
+			fmt.Println(tab.Render())
+			if *plots {
+				if chart, ok := chartFromTable(tab); ok {
+					fmt.Println(chart)
+				}
+			}
+			if *out != "" {
+				path := filepath.Join(*out, tab.ID+".csv")
+				if err := os.WriteFile(path, []byte(tab.CSV()), 0o644); err != nil {
+					fatal(err)
+				}
+			}
+		}
+		for _, note := range output.Notes {
+			fmt.Printf("note: %s\n", note)
+		}
+		fmt.Println()
+	}
+	if ran == 0 {
+		fatal(fmt.Errorf("no experiments matched -only=%q", *only))
+	}
+	fmt.Printf("ran %d experiments in %.1fs (scale=%s seed=%d)\n",
+		ran, time.Since(start).Seconds(), *scale, *seed)
+}
+
+// chartFromTable renders an ASCII chart when the table looks like a time
+// series: a numeric-ish first column ("120s", "0.5") and numeric data
+// columns ("0.97", "42.0%").
+func chartFromTable(tab pard.ExperimentTable) (string, bool) {
+	if len(tab.Rows) < 4 || len(tab.Columns) < 2 {
+		return "", false
+	}
+	parse := func(s string) (float64, bool) {
+		s = strings.TrimSuffix(strings.TrimSuffix(strings.TrimSpace(s), "%"), "s")
+		s = strings.TrimSuffix(s, "ms")
+		v, err := strconv.ParseFloat(s, 64)
+		return v, err == nil
+	}
+	xs := make([]float64, 0, len(tab.Rows))
+	for _, row := range tab.Rows {
+		x, ok := parse(row[0])
+		if !ok {
+			return "", false
+		}
+		xs = append(xs, x)
+	}
+	c := plot.Chart{Title: tab.Title, XLabel: tab.Columns[0], Width: 76, Height: 14}
+	added := 0
+	for col := 1; col < len(tab.Columns); col++ {
+		var cx, cy []float64
+		for i, row := range tab.Rows {
+			if col >= len(row) {
+				continue
+			}
+			if y, ok := parse(row[col]); ok {
+				cx = append(cx, xs[i])
+				cy = append(cy, y)
+			}
+		}
+		if len(cy) < 4 {
+			continue
+		}
+		if err := c.Add(plot.Series{Name: tab.Columns[col], X: cx, Y: cy}); err == nil {
+			added++
+		}
+	}
+	if added == 0 {
+		return "", false
+	}
+	return c.Render(), true
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pard-bench:", err)
+	os.Exit(1)
+}

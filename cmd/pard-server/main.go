@@ -1,0 +1,68 @@
+// Command pard-server hosts a pipeline behind HTTP with live PARD
+// scheduling. Model execution is simulated by sleeping profiled durations;
+// everything else (queues, batching, dropping, state sync) is the real
+// scheduler.
+//
+// Usage:
+//
+//	pard-server -app lv -policy pard -addr :8080
+//	curl -X POST localhost:8080/infer
+//	curl localhost:8080/stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"pard"
+)
+
+func main() {
+	app := flag.String("app", "tm", "chain pipeline: tm, lv, gm")
+	policyName := flag.String("policy", "pard", "drop policy")
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 2, "workers per module")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	var spec *pard.Pipeline
+	switch *app {
+	case "tm":
+		spec = pard.TM()
+	case "lv":
+		spec = pard.LV()
+	case "gm":
+		spec = pard.GM()
+	default:
+		fatal(fmt.Errorf("unknown app %q (live server hosts chain pipelines: tm, lv, gm)", *app))
+	}
+
+	ws := make([]int, spec.N())
+	for i := range ws {
+		ws[i] = *workers
+	}
+	srv, err := pard.NewServer(pard.ServerConfig{
+		Spec:       spec,
+		PolicyName: *policyName,
+		Workers:    ws,
+		Seed:       *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	srv.Start()
+	defer srv.Stop()
+
+	fmt.Printf("pard-server: serving %s (%d modules, SLO %v) with policy %s on %s\n",
+		*app, spec.N(), spec.SLO, *policyName, *addr)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pard-server:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,103 @@
+// Command pard-sim runs one workload × policy simulation and prints the
+// resulting metrics.
+//
+// Usage:
+//
+//	pard-sim -app lv -trace tweet -policy pard -duration 300s
+//	pard-sim -app da -trace azure -policy nexus -seed 7 -compare
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pard"
+)
+
+func main() {
+	app := flag.String("app", "lv", "application pipeline: tm, lv, gm, da")
+	traceKind := flag.String("trace", "tweet", "workload trace: wiki, tweet, azure, steady, step")
+	policyName := flag.String("policy", "pard", "drop policy (see -list)")
+	duration := flag.Duration("duration", 300*time.Second, "trace duration")
+	rate := flag.Float64("rate", 0, "peak rate override (req/s; 0 = paper nominal)")
+	seed := flag.Int64("seed", 1, "random seed")
+	compare := flag.Bool("compare", false, "run the four headline systems instead of one policy")
+	list := flag.Bool("list", false, "list policies and exit")
+	window := flag.Duration("window", 24*time.Second, "goodput window size")
+	flag.Parse()
+
+	if *list {
+		for _, p := range pard.Policies() {
+			fmt.Println(p)
+		}
+		return
+	}
+
+	spec, err := specFor(*app)
+	if err != nil {
+		fatal(err)
+	}
+	tr, err := pard.NewTrace(pard.TraceConfig{
+		Kind:     pard.TraceKind(*traceKind),
+		Duration: *duration,
+		PeakRate: *rate,
+		Seed:     *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("workload %s-%s: %d requests, mean %.1f req/s, SLO %v\n",
+		*app, *traceKind, tr.Len(), tr.MeanRate(), spec.SLO)
+
+	policies := []string{*policyName}
+	if *compare {
+		policies = pard.ComparisonPolicies()
+	}
+	fmt.Printf("%-14s %9s %9s %9s %9s %12s %10s %8s %8s\n",
+		"policy", "goodput", "drop", "invalid", "late", "minGoodput", "maxDrop", "p50", "p99")
+	for _, pol := range policies {
+		res, err := pard.Simulate(pard.SimConfig{
+			Spec:       spec,
+			PolicyName: pol,
+			Trace:      tr,
+			Seed:       *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		s := res.Summary
+		p50, p99 := time.Duration(0), time.Duration(0)
+		if qs := res.Collector.LatencyQuantiles(0.5, 0.99); qs != nil {
+			p50, p99 = qs[0], qs[1]
+		}
+		fmt.Printf("%-14s %8.1f/s %8.2f%% %8.2f%% %9d %12.3f %9.2f%% %7dms %6dms\n",
+			pol, s.Goodput, 100*s.DropRate, 100*s.InvalidRate, s.Late,
+			res.Collector.MinNormalizedGoodput(*window),
+			100*res.Collector.MaxDropRate(*window),
+			p50.Milliseconds(), p99.Milliseconds())
+	}
+}
+
+func specFor(app string) (*pard.Pipeline, error) {
+	switch app {
+	case "tm":
+		return pard.TM(), nil
+	case "lv":
+		return pard.LV(), nil
+	case "gm":
+		return pard.GM(), nil
+	case "da":
+		return pard.DA(), nil
+	case "da-dyn":
+		return pard.DADynamic(0.5), nil
+	default:
+		return nil, fmt.Errorf("unknown app %q (tm, lv, gm, da, da-dyn)", app)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pard-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,71 @@
+// Command pard-trace generates and inspects workload traces.
+//
+// Usage:
+//
+//	pard-trace -kind tweet -duration 1400s -out tweet.csv
+//	pard-trace -inspect tweet.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pard"
+)
+
+func main() {
+	kind := flag.String("kind", "tweet", "trace shape: wiki, tweet, azure, steady, step")
+	duration := flag.Duration("duration", 1400*time.Second, "trace duration")
+	rate := flag.Float64("rate", 0, "peak rate (req/s; 0 = paper nominal)")
+	seed := flag.Int64("seed", 1, "random seed")
+	out := flag.String("out", "", "write CSV to this file (default stdout summary only)")
+	inspect := flag.String("inspect", "", "analyze an existing trace CSV instead of generating")
+	flag.Parse()
+
+	var tr *pard.Trace
+	var err error
+	if *inspect != "" {
+		f, err2 := os.Open(*inspect)
+		if err2 != nil {
+			fatal(err2)
+		}
+		defer f.Close()
+		tr, err = pard.ReadTraceCSV(*inspect, f)
+	} else {
+		tr, err = pard.NewTrace(pard.TraceConfig{
+			Kind:     pard.TraceKind(*kind),
+			Duration: *duration,
+			PeakRate: *rate,
+			Seed:     *seed,
+		})
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	st := tr.Analyze()
+	fmt.Printf("trace %s: %d arrivals over %v\n", tr.Name, tr.Len(), tr.Duration)
+	fmt.Printf("  mean rate  %.1f req/s\n", st.MeanRate)
+	fmt.Printf("  peak rate  %.1f req/s\n", st.PeakRate)
+	fmt.Printf("  CV         %.3f\n", st.CV)
+	fmt.Printf("  burst CV   %.3f (detrended)\n", st.BurstCV)
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := tr.WriteCSV(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pard-trace:", err)
+	os.Exit(1)
+}

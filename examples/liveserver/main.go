@@ -1,0 +1,80 @@
+// Live serving demo: hosts the tm pipeline in-process with real goroutine
+// workers (model execution = sleeping profiled durations), fires a burst of
+// HTTP requests at it, and prints the live metrics. This exercises the same
+// scheduler code as the simulator under a wall clock.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	"pard"
+)
+
+func main() {
+	// Scale the models down ~20x so the demo finishes in seconds while
+	// keeping the same shape (three stages, tight SLO).
+	lib := pard.DefaultLibrary()
+	fast, err := pard.LoadLibraryScaled(lib, 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := pard.Chain("live-tm", 25*time.Millisecond, 3, "objdet")
+
+	srv, err := pard.NewServer(pard.ServerConfig{
+		Spec:       spec,
+		Lib:        fast,
+		PolicyName: "pard",
+		Workers:    []int{2, 2, 2},
+		Seed:       1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv.Start()
+	defer srv.Stop()
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	fmt.Printf("live server on %s (pipeline %s, SLO %v)\n", ts.URL, spec.App, spec.SLO)
+
+	// Fire 200 requests: a steady phase then a burst.
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	outcomes := map[string]int{}
+	fire := func(n int, gap time.Duration) {
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				resp, err := http.Post(ts.URL+"/infer", "application/json", nil)
+				if err != nil {
+					return
+				}
+				defer resp.Body.Close()
+				var out pard.ServerResponse
+				if json.NewDecoder(resp.Body).Decode(&out) == nil {
+					mu.Lock()
+					outcomes[string(out.Outcome)]++
+					mu.Unlock()
+				}
+			}()
+			time.Sleep(gap)
+		}
+	}
+	fmt.Println("steady phase: 100 requests at 200/s")
+	fire(100, 5*time.Millisecond)
+	fmt.Println("burst phase:  100 requests as fast as possible")
+	fire(100, 0)
+	wg.Wait()
+
+	fmt.Printf("outcomes: %v\n", outcomes)
+	sum := srv.Summary()
+	fmt.Printf("server metrics: total=%d good=%d late=%d dropped=%d (drop rate %.1f%%)\n",
+		sum.Total, sum.Good, sum.Late, sum.Dropped, 100*sum.DropRate)
+}

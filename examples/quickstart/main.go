@@ -1,0 +1,59 @@
+// Quickstart: simulate the live-video pipeline under the bursty tweet
+// workload with PARD and print the headline metrics.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"pard"
+)
+
+func main() {
+	// 1. A workload: the paper's Twitter-shaped trace, 2 minutes.
+	tr := pard.GenerateTrace(pard.TraceConfig{
+		Kind:     pard.Tweet,
+		Duration: 2 * time.Minute,
+		Seed:     1,
+	})
+	fmt.Printf("trace: %d requests, mean %.0f req/s\n", tr.Len(), tr.MeanRate())
+
+	// 2. A pipeline: 5 cascaded models, 500 ms end-to-end SLO.
+	spec := pard.LV()
+
+	// 3. Simulate with PARD's proactive dropping.
+	res, err := pard.Simulate(pard.SimConfig{
+		Spec:       spec,
+		PolicyName: "pard",
+		Trace:      tr,
+		Seed:       1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	s := res.Summary
+	fmt.Printf("goodput:      %.1f req/s\n", s.Goodput)
+	fmt.Printf("drop rate:    %.2f%%\n", 100*s.DropRate)
+	fmt.Printf("invalid rate: %.2f%% of GPU time wasted\n", 100*s.InvalidRate)
+	fmt.Printf("drops by module: ")
+	for m, p := range s.PerModuleDropPct {
+		fmt.Printf("M%d=%.0f%% ", m+1, p)
+	}
+	fmt.Println()
+
+	// 4. Compare against reactive dropping (Nexus) on the same workload.
+	nexus, err := pard.Simulate(pard.SimConfig{
+		Spec:       spec,
+		PolicyName: "nexus",
+		Trace:      tr,
+		Seed:       1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nvs nexus: drop %.2f%% (PARD %.1fx lower), invalid %.2f%% (PARD %.1fx lower)\n",
+		100*nexus.Summary.DropRate, nexus.Summary.DropRate/s.DropRate,
+		100*nexus.Summary.InvalidRate, nexus.Summary.InvalidRate/s.InvalidRate)
+}

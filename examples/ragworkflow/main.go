@@ -1,0 +1,31 @@
+// RAG workflow (§7): a four-stage retrieval-augmented-generation pipeline —
+// rewrite → {retrieve ∥ search} → generate — under a 5 s time-to-first-token
+// SLO, comparing reactive, proactive and oracle-assisted (predict) dropping.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pard"
+)
+
+func main() {
+	fmt.Println("RAG workflow: rewrite → {retrieve ∥ search} → generate, TTFT SLO 5s")
+	fmt.Println()
+	fmt.Printf("%-11s %18s %10s %30s\n", "policy", "normalized goodput", "drop rate", "drops per stage (rw/re/se/ge)")
+	for _, p := range []pard.RAGPolicy{pard.RAGReactive, pard.RAGProactive, pard.RAGPredict} {
+		cfg := pard.DefaultRAGConfig(p)
+		res, err := pard.RunRAG(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-11s %18.3f %9.1f%% %20d/%d/%d/%d\n",
+			p, res.NormalizedGoodput, 100*res.DropRate,
+			res.DropsPerStage[0], res.DropsPerStage[1], res.DropsPerStage[2], res.DropsPerStage[3])
+	}
+	fmt.Println()
+	fmt.Println("paper reference: reactive 39% drops, proactive 17%, predict (oracle output lengths) 11%")
+	fmt.Println("key asymmetry: proactive drops before the LLM runs; reactive discovers doomed requests")
+	fmt.Println("only after they consumed rewrite decode time and generate prefill slots.")
+}

@@ -1,0 +1,357 @@
+package depq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyQueue(t *testing.T) {
+	q := New[string]()
+	if q.Len() != 0 {
+		t.Fatal("new queue not empty")
+	}
+	if _, _, ok := q.PopMin(); ok {
+		t.Fatal("PopMin on empty returned ok")
+	}
+	if _, _, ok := q.PopMax(); ok {
+		t.Fatal("PopMax on empty returned ok")
+	}
+	if _, _, ok := q.PeekMin(); ok {
+		t.Fatal("PeekMin on empty returned ok")
+	}
+	if _, _, ok := q.PeekMax(); ok {
+		t.Fatal("PeekMax on empty returned ok")
+	}
+}
+
+func TestSingleElement(t *testing.T) {
+	q := New[string]()
+	q.Push("a", 5)
+	if v, k, ok := q.PeekMin(); !ok || v != "a" || k != 5 {
+		t.Fatalf("PeekMin = %v %v %v", v, k, ok)
+	}
+	if v, k, ok := q.PeekMax(); !ok || v != "a" || k != 5 {
+		t.Fatalf("PeekMax = %v %v %v", v, k, ok)
+	}
+	if v, _, ok := q.PopMax(); !ok || v != "a" {
+		t.Fatalf("PopMax = %v %v", v, ok)
+	}
+	if q.Len() != 0 {
+		t.Fatal("queue not empty after pop")
+	}
+}
+
+func TestTwoElements(t *testing.T) {
+	q := New[int]()
+	q.Push(1, 10)
+	q.Push(2, 3)
+	if v, _, _ := q.PeekMin(); v != 2 {
+		t.Fatalf("PeekMin = %d, want 2", v)
+	}
+	if v, _, _ := q.PeekMax(); v != 1 {
+		t.Fatalf("PeekMax = %d, want 1", v)
+	}
+}
+
+func TestPopMinAscending(t *testing.T) {
+	q := New[int]()
+	keys := []int64{5, 3, 9, 1, 7, 2, 8, 6, 4, 0}
+	for i, k := range keys {
+		q.Push(i, k)
+	}
+	var got []int64
+	for {
+		_, k, ok := q.PopMin()
+		if !ok {
+			break
+		}
+		got = append(got, k)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("PopMin sequence not ascending: %v", got)
+		}
+	}
+	if len(got) != len(keys) {
+		t.Fatalf("popped %d, want %d", len(got), len(keys))
+	}
+}
+
+func TestPopMaxDescending(t *testing.T) {
+	q := New[int]()
+	keys := []int64{5, 3, 9, 1, 7, 2, 8, 6, 4, 0}
+	for i, k := range keys {
+		q.Push(i, k)
+	}
+	var got []int64
+	for {
+		_, k, ok := q.PopMax()
+		if !ok {
+			break
+		}
+		got = append(got, k)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] > got[i-1] {
+			t.Fatalf("PopMax sequence not descending: %v", got)
+		}
+	}
+}
+
+func TestTiesPopFIFO(t *testing.T) {
+	q := New[int]()
+	for i := 0; i < 5; i++ {
+		q.Push(i, 42)
+	}
+	for i := 0; i < 5; i++ {
+		v, _, ok := q.PopMin()
+		if !ok || v != i {
+			t.Fatalf("tie pop %d = %d, want insertion order", i, v)
+		}
+	}
+}
+
+func TestDrain(t *testing.T) {
+	q := New[int]()
+	for i := 0; i < 10; i++ {
+		q.Push(i, int64(i))
+	}
+	out := q.Drain()
+	if len(out) != 10 || q.Len() != 0 {
+		t.Fatalf("drain len = %d, q len = %d", len(out), q.Len())
+	}
+	sort.Ints(out)
+	for i, v := range out {
+		if v != i {
+			t.Fatalf("drain lost values: %v", out)
+		}
+	}
+}
+
+// model-based test: interleaved random ops vs a sorted-slice reference.
+func TestModelBasedRandomOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	q := New[int64]()
+	var model []int64 // kept sorted
+	insert := func(k int64) {
+		i := sort.Search(len(model), func(i int) bool { return model[i] > k })
+		model = append(model, 0)
+		copy(model[i+1:], model[i:])
+		model[i] = k
+	}
+	for op := 0; op < 50000; op++ {
+		switch r := rng.Intn(4); {
+		case r == 0 || len(model) == 0:
+			k := int64(rng.Intn(1000))
+			q.Push(k, k)
+			insert(k)
+		case r == 1:
+			_, k, ok := q.PopMin()
+			if !ok || k != model[0] {
+				t.Fatalf("op %d: PopMin = %d ok=%v, want %d", op, k, ok, model[0])
+			}
+			model = model[1:]
+		case r == 2:
+			_, k, ok := q.PopMax()
+			if !ok || k != model[len(model)-1] {
+				t.Fatalf("op %d: PopMax = %d ok=%v, want %d", op, k, ok, model[len(model)-1])
+			}
+			model = model[:len(model)-1]
+		default:
+			_, kmin, _ := q.PeekMin()
+			_, kmax, _ := q.PeekMax()
+			if kmin != model[0] || kmax != model[len(model)-1] {
+				t.Fatalf("op %d: peeks (%d,%d) want (%d,%d)", op, kmin, kmax, model[0], model[len(model)-1])
+			}
+		}
+		if q.Len() != len(model) {
+			t.Fatalf("op %d: len %d vs model %d", op, q.Len(), len(model))
+		}
+	}
+}
+
+// Property: pushing arbitrary keys then alternately popping min and max
+// consumes keys from both ends of the sorted order.
+func TestPropertyAlternatingPops(t *testing.T) {
+	f := func(keys []int64) bool {
+		q := New[int]()
+		sorted := append([]int64(nil), keys...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for i, k := range keys {
+			q.Push(i, k)
+		}
+		lo, hi := 0, len(sorted)-1
+		for i := 0; lo <= hi; i++ {
+			if i%2 == 0 {
+				_, k, ok := q.PopMin()
+				if !ok || k != sorted[lo] {
+					return false
+				}
+				lo++
+			} else {
+				_, k, ok := q.PopMax()
+				if !ok || k != sorted[hi] {
+					return false
+				}
+				hi--
+			}
+		}
+		return q.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: min-max heap level invariant holds after every push.
+func TestPropertyHeapInvariant(t *testing.T) {
+	f := func(keys []int64) bool {
+		q := New[int]()
+		for i, k := range keys {
+			q.Push(i, k)
+			if !checkInvariant(q) {
+				return false
+			}
+		}
+		// and after interleaved pops
+		for q.Len() > 0 {
+			if q.Len()%2 == 0 {
+				q.PopMin()
+			} else {
+				q.PopMax()
+			}
+			if !checkInvariant(q) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// checkInvariant verifies every node on a min level is <= all descendants and
+// every node on a max level is >= all descendants.
+func checkInvariant(q *DEPQ[int]) bool {
+	n := len(q.h)
+	var walk func(root, i int, min bool) bool
+	walk = func(root, i int, min bool) bool {
+		if i >= n {
+			return true
+		}
+		if i != root {
+			if min && q.h[i].key < q.h[root].key {
+				return false
+			}
+			if !min && q.h[i].key > q.h[root].key {
+				return false
+			}
+		}
+		return walk(root, 2*i+1, min) && walk(root, 2*i+2, min)
+	}
+	for i := 0; i < n; i++ {
+		if !walk(i, i, isMinLevel(i)) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestFIFOOrder(t *testing.T) {
+	q := NewFIFO[int]()
+	for i := 0; i < 10; i++ {
+		q.Push(i, int64(100-i)) // keys deliberately reversed: must not matter
+	}
+	for i := 0; i < 5; i++ {
+		v, _, ok := q.PopMin()
+		if !ok || v != i {
+			t.Fatalf("FIFO PopMin = %d, want %d", v, i)
+		}
+	}
+	for i := 5; i < 10; i++ {
+		v, _, ok := q.PopMax()
+		if !ok || v != i {
+			t.Fatalf("FIFO PopMax = %d, want %d (arrival order)", v, i)
+		}
+	}
+	if _, _, ok := q.PopMin(); ok {
+		t.Fatal("empty FIFO popped")
+	}
+}
+
+func TestFIFOPeekAndDrain(t *testing.T) {
+	q := NewFIFO[string]()
+	q.Push("a", 1)
+	q.Push("b", 2)
+	if v, _, _ := q.PeekMin(); v != "a" {
+		t.Fatalf("PeekMin = %v", v)
+	}
+	if v, _, _ := q.PeekMax(); v != "a" {
+		t.Fatalf("PeekMax = %v, want arrival head", v)
+	}
+	out := q.Drain()
+	if len(out) != 2 || out[0] != "a" || out[1] != "b" {
+		t.Fatalf("drain = %v", out)
+	}
+}
+
+func TestFIFOCompaction(t *testing.T) {
+	q := NewFIFO[int]()
+	for i := 0; i < 100000; i++ {
+		q.Push(i, 0)
+		if i%2 == 1 {
+			q.PopMin()
+		}
+	}
+	if len(q.buf)-q.head != q.Len() {
+		t.Fatal("length accounting broken")
+	}
+	if len(q.buf) > 3*q.Len()+2048 {
+		t.Fatalf("FIFO failed to compact: backing %d for %d live", len(q.buf), q.Len())
+	}
+}
+
+// Both implementations satisfy the Queue interface.
+var (
+	_ Queue[int] = (*DEPQ[int])(nil)
+	_ Queue[int] = (*FIFO[int])(nil)
+)
+
+func BenchmarkDEPQPushPopMin(b *testing.B) {
+	q := New[int]()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < b.N; i++ {
+		q.Push(i, int64(rng.Intn(1<<20)))
+		if q.Len() > 1024 {
+			q.PopMin()
+		}
+	}
+}
+
+func BenchmarkDEPQPushPopBothEnds(b *testing.B) {
+	q := New[int]()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < b.N; i++ {
+		q.Push(i, int64(rng.Intn(1<<20)))
+		if q.Len() > 1024 {
+			if i%2 == 0 {
+				q.PopMin()
+			} else {
+				q.PopMax()
+			}
+		}
+	}
+}
+
+func BenchmarkFIFOPushPop(b *testing.B) {
+	q := NewFIFO[int]()
+	for i := 0; i < b.N; i++ {
+		q.Push(i, 0)
+		if q.Len() > 1024 {
+			q.PopMin()
+		}
+	}
+}

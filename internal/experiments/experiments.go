@@ -1,0 +1,297 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation (§5, §7). Each experiment is a named entry in a registry; the
+// harness runs the underlying simulations (caching runs shared between
+// figures), and renders the same rows/series the paper reports as text
+// tables and CSV files.
+//
+// Absolute numbers differ from the paper — the substrate is a simulator,
+// not a 64-GPU testbed — but the shapes (who wins, by what factor, where
+// crossovers fall) are the reproduction targets; EXPERIMENTS.md records
+// paper-vs-measured for each artifact.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"pard/internal/pipeline"
+	"pard/internal/simgpu"
+	"pard/internal/trace"
+)
+
+// Scale selects how much virtual time each workload covers.
+type Scale string
+
+// Scales.
+const (
+	// Smoke is for unit tests: minutes of virtual time.
+	Smoke Scale = "smoke"
+	// Quick is the default benchmarking scale.
+	Quick Scale = "quick"
+	// Full replays paper-length traces.
+	Full Scale = "full"
+)
+
+// traceDuration maps scale to virtual trace length.
+func traceDuration(s Scale) time.Duration {
+	switch s {
+	case Smoke:
+		return 120 * time.Second
+	case Full:
+		return 1400 * time.Second
+	default:
+		return 300 * time.Second
+	}
+}
+
+// Table is one rendered artifact (a paper table, or a figure's data series).
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// Output is everything one experiment produces.
+type Output struct {
+	Tables []Table
+	Notes  []string
+}
+
+// Config parameterizes an experiment run.
+type Config struct {
+	Scale Scale
+	Seed  int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale == "" {
+		c.Scale = Quick
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Experiment is a registered paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(h *Harness) (*Output, error)
+}
+
+// Harness executes experiments with a cache of simulation runs so figures
+// sharing workloads (e.g. Figs. 8-10) don't recompute them.
+type Harness struct {
+	cfg    Config
+	cache  map[string]*simgpu.Result
+	traces map[string]*trace.Trace
+}
+
+// NewHarness returns a harness for the config.
+func NewHarness(cfg Config) *Harness {
+	return &Harness{
+		cfg:    cfg.withDefaults(),
+		cache:  map[string]*simgpu.Result{},
+		traces: map[string]*trace.Trace{},
+	}
+}
+
+// Config returns the effective configuration.
+func (h *Harness) Config() Config { return h.cfg }
+
+// Trace returns (and caches) the synthetic trace for a workload kind at the
+// harness scale.
+func (h *Harness) Trace(kind trace.Kind) *trace.Trace {
+	key := string(kind)
+	if tr, ok := h.traces[key]; ok {
+		return tr
+	}
+	tr := trace.MustGenerate(trace.Config{
+		Kind:     kind,
+		Duration: traceDuration(h.cfg.Scale),
+		Seed:     h.cfg.Seed,
+	})
+	h.traces[key] = tr
+	return tr
+}
+
+// appSpec returns the pipeline for an app name.
+func appSpec(app string) (*pipeline.Spec, error) {
+	if s, ok := pipeline.Apps()[app]; ok {
+		return s, nil
+	}
+	switch app {
+	case "da-dyn":
+		return pipeline.DADynamic(0.5), nil
+	}
+	return nil, fmt.Errorf("experiments: unknown app %q", app)
+}
+
+// RunOpts tweaks a single simulation beyond app/trace/policy.
+type RunOpts struct {
+	Probes       simgpu.ProbeConfig
+	Lambda       float64
+	SLOOverride  time.Duration
+	WindowSize   time.Duration
+	FixedWorkers []int
+	SteadyRate   float64 // use a steady trace at this rate instead of a kind
+}
+
+// cacheKey builds a deterministic key for run caching.
+func cacheKey(app string, kind trace.Kind, policy string, o RunOpts) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|%s|%s|p=%+v|l=%v|slo=%v|w=%v|r=%v|fw=%v",
+		app, kind, policy, o.Probes, o.Lambda, o.SLOOverride, o.WindowSize, o.SteadyRate, o.FixedWorkers)
+	return b.String()
+}
+
+// Run executes (or retrieves from cache) one simulation.
+func (h *Harness) Run(app string, kind trace.Kind, policy string, opts RunOpts) (*simgpu.Result, error) {
+	key := cacheKey(app, kind, policy, opts)
+	if res, ok := h.cache[key]; ok {
+		return res, nil
+	}
+	spec, err := appSpec(app)
+	if err != nil {
+		return nil, err
+	}
+	if opts.SLOOverride > 0 {
+		cp := *spec
+		cp.SLO = opts.SLOOverride
+		spec = &cp
+	}
+	var tr *trace.Trace
+	if opts.SteadyRate > 0 {
+		tr = trace.MustGenerate(trace.Config{
+			Kind:     trace.Steady,
+			Duration: traceDuration(h.cfg.Scale) / 2,
+			PeakRate: opts.SteadyRate,
+			Seed:     h.cfg.Seed,
+		})
+	} else {
+		tr = h.Trace(kind)
+	}
+	res, err := simgpu.Run(simgpu.Config{
+		Spec:           spec,
+		PolicyName:     policy,
+		Trace:          tr,
+		Seed:           h.cfg.Seed,
+		Probes:         opts.Probes,
+		Lambda:         opts.Lambda,
+		PriorityWindow: opts.WindowSize,
+		FixedWorkers:   opts.FixedWorkers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	h.cache[key] = res
+	return res, nil
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns every registered experiment sorted by ID.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Get returns the experiment with the given ID.
+func Get(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+}
+
+// IDs lists registered experiment IDs.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for _, e := range All() {
+		out = append(out, e.ID)
+	}
+	return out
+}
+
+// formatting helpers
+
+func pct(v float64) string { return fmt.Sprintf("%.2f%%", 100*v) }
+func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
+func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }
+func secs(d time.Duration) string {
+	if d%time.Second == 0 {
+		return fmt.Sprintf("%.0fs", d.Seconds())
+	}
+	return fmt.Sprintf("%.1fs", d.Seconds())
+}
+
+// Render formats a table as aligned text.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s — %s\n", t.ID, t.Title)
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	cols := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		cols[i] = esc(c)
+	}
+	b.WriteString(strings.Join(cols, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		cells := make([]string, len(row))
+		for i, c := range row {
+			cells[i] = esc(c)
+		}
+		b.WriteString(strings.Join(cells, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

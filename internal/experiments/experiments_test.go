@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"pard/internal/trace"
+)
+
+func smokeHarness() *Harness { return NewHarness(Config{Scale: Smoke, Seed: 1}) }
+
+func TestRegistryCoversPaperArtifacts(t *testing.T) {
+	want := []string{
+		"fig2a", "fig2b", "fig2c", "fig2d", "fig6",
+		"fig8", "fig9", "fig10", "fig11",
+		"fig12a", "fig12b", "fig12c", "fig12d", "fig13",
+		"fig14a", "fig14b", "fig14c", "fig14d",
+		"fig15a", "fig15b", "dag-dynamic",
+	}
+	ids := IDs()
+	have := map[string]bool{}
+	for _, id := range ids {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Fatalf("missing experiment %s (have %v)", id, ids)
+		}
+	}
+	if _, err := Get("fig8"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Get("bogus"); err == nil {
+		t.Fatal("unknown experiment found")
+	}
+}
+
+// TestAllExperimentsProduceOutput runs every registered experiment at smoke
+// scale and checks the artifacts are structurally sound. This doubles as the
+// integration test of the whole stack (trace → simgpu → policy → metrics).
+func TestAllExperimentsProduceOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke experiment sweep skipped in -short")
+	}
+	h := smokeHarness()
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			out, err := e.Run(h)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(out.Tables) == 0 {
+				t.Fatalf("%s: no tables", e.ID)
+			}
+			for _, tab := range out.Tables {
+				if len(tab.Columns) == 0 || len(tab.Rows) == 0 {
+					t.Fatalf("%s: table %s empty", e.ID, tab.ID)
+				}
+				for _, row := range tab.Rows {
+					if len(row) != len(tab.Columns) {
+						t.Fatalf("%s: table %s row width %d != %d cols",
+							e.ID, tab.ID, len(row), len(tab.Columns))
+					}
+				}
+				if !strings.Contains(tab.Render(), tab.ID) {
+					t.Fatalf("%s: render missing ID", e.ID)
+				}
+				if !strings.Contains(tab.CSV(), tab.Columns[0]) {
+					t.Fatalf("%s: CSV missing header", e.ID)
+				}
+			}
+		})
+	}
+}
+
+func parsePct(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		t.Fatalf("bad pct %q: %v", s, err)
+	}
+	return v
+}
+
+// TestFig8Shape checks the headline claim on the lv-tweet row: PARD's drop
+// and invalid rates are the lowest of the four systems.
+func TestFig8Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short")
+	}
+	h := smokeHarness()
+	out, err := fig8(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drop := out.Tables[0]
+	// Columns: workload, pard, nexus, clipper++, naive.
+	for _, row := range drop.Rows {
+		if row[0] != "lv-tweet" {
+			continue
+		}
+		pard := parsePct(t, row[1])
+		nexus := parsePct(t, row[2])
+		naive := parsePct(t, row[4])
+		if pard > nexus {
+			t.Fatalf("pard drop %.2f%% > nexus %.2f%% on lv-tweet", pard, nexus)
+		}
+		if pard > naive {
+			t.Fatalf("pard drop %.2f%% > naive %.2f%% on lv-tweet", pard, naive)
+		}
+		return
+	}
+	t.Fatal("lv-tweet row missing")
+}
+
+// TestFig13Shape checks PARD-instant switches priorities more than PARD.
+func TestFig13Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short")
+	}
+	h := smokeHarness()
+	out, err := fig13(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var switches Table
+	for _, tab := range out.Tables {
+		if tab.ID == "fig13-switches" {
+			switches = tab
+		}
+	}
+	if len(switches.Rows) != 2 {
+		t.Fatalf("switch table rows: %v", switches.Rows)
+	}
+	pard, _ := strconv.Atoi(switches.Rows[0][1])
+	instant, _ := strconv.Atoi(switches.Rows[1][1])
+	if instant < pard {
+		t.Fatalf("pard-instant switched %d times, pard %d — expected instant >= pard", instant, pard)
+	}
+}
+
+func TestTraceCaching(t *testing.T) {
+	h := smokeHarness()
+	a := h.Trace(trace.Tweet)
+	b := h.Trace(trace.Tweet)
+	if a != b {
+		t.Fatal("trace not cached")
+	}
+}
+
+func TestRunCaching(t *testing.T) {
+	h := smokeHarness()
+	a, err := h.Run("tm", trace.Wiki, "pard", RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.Run("tm", trace.Wiki, "pard", RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("run not cached")
+	}
+	c, err := h.Run("tm", trace.Wiki, "nexus", RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Fatal("different policy hit the same cache entry")
+	}
+}
+
+func TestUnknownApp(t *testing.T) {
+	h := smokeHarness()
+	if _, err := h.Run("bogus", trace.Wiki, "pard", RunOpts{}); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestTableRenderAndCSVEscaping(t *testing.T) {
+	tab := Table{
+		ID:      "x",
+		Title:   "t",
+		Columns: []string{"a", "b"},
+		Rows:    [][]string{{"1,2", `say "hi"`}},
+	}
+	csv := tab.CSV()
+	if !strings.Contains(csv, `"1,2"`) || !strings.Contains(csv, `"say ""hi"""`) {
+		t.Fatalf("CSV escaping broken: %s", csv)
+	}
+	if !strings.Contains(tab.Render(), "a") {
+		t.Fatal("render missing column")
+	}
+}

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"pard/internal/policy"
+	"pard/internal/trace"
+)
+
+// the 12 workloads of Figs. 8-10: 4 apps × 3 traces.
+var apps12 = []string{"lv", "tm", "gm", "da"}
+var traces12 = []trace.Kind{trace.Wiki, trace.Tweet, trace.Azure}
+
+func init() {
+	register(Experiment{
+		ID:    "fig8",
+		Title: "Average drop rate and invalid rate across 12 workloads",
+		Run:   fig8,
+	})
+	register(Experiment{
+		ID:    "fig9",
+		Title: "Maximum average drop rate across time window sizes, 12 workloads",
+		Run:   fig9,
+	})
+	register(Experiment{
+		ID:    "fig10",
+		Title: "Normalized real-time goodput timelines across 12 workloads",
+		Run:   fig10,
+	})
+}
+
+func fig8(h *Harness) (*Output, error) {
+	drop := Table{
+		ID:      "fig8a",
+		Title:   "average drop rate",
+		Columns: append([]string{"workload"}, policy.Comparison()...),
+	}
+	invalid := Table{
+		ID:      "fig8b",
+		Title:   "average invalid rate (wasted GPU time fraction)",
+		Columns: append([]string{"workload"}, policy.Comparison()...),
+	}
+	for _, kind := range traces12 {
+		for _, app := range apps12 {
+			dRow := []string{fmt.Sprintf("%s-%s", app, kind)}
+			iRow := []string{fmt.Sprintf("%s-%s", app, kind)}
+			for _, pol := range policy.Comparison() {
+				res, err := h.Run(app, kind, pol, RunOpts{})
+				if err != nil {
+					return nil, err
+				}
+				dRow = append(dRow, pct(res.Summary.DropRate))
+				iRow = append(iRow, pct(res.Summary.InvalidRate))
+			}
+			drop.Rows = append(drop.Rows, dRow)
+			invalid.Rows = append(invalid.Rows, iRow)
+		}
+	}
+	return &Output{
+		Tables: []Table{drop, invalid},
+		Notes: []string{
+			"Paper: PARD drops 0.12%-3.6% on average; 1.6-16.7x less than Nexus/Clipper++, with 1.5-61.9x less wasted compute.",
+		},
+	}, nil
+}
+
+func fig9(h *Harness) (*Output, error) {
+	windows := fig2Windows(h, []time.Duration{22 * time.Second, 24 * time.Second, 26 * time.Second, 28 * time.Second})
+	var tables []Table
+	for _, kind := range traces12 {
+		for _, app := range apps12 {
+			t := Table{
+				ID:      fmt.Sprintf("fig9-%s-%s", app, kind),
+				Title:   fmt.Sprintf("max drop rate vs window size, %s-%s", app, kind),
+				Columns: append([]string{"window"}, policy.Comparison()...),
+			}
+			for _, w := range windows {
+				row := []string{secs(w)}
+				for _, pol := range policy.Comparison() {
+					res, err := h.Run(app, kind, pol, RunOpts{})
+					if err != nil {
+						return nil, err
+					}
+					row = append(row, pct(res.Collector.MaxDropRate(w)))
+				}
+				t.Rows = append(t.Rows, row)
+			}
+			tables = append(tables, t)
+		}
+	}
+	return &Output{Tables: tables, Notes: []string{
+		"Paper: reactive baselines hit transient drop rates up to 90-96%; PARD cuts them by 41-98% across timescales.",
+	}}, nil
+}
+
+func fig10(h *Harness) (*Output, error) {
+	bucket := 20 * time.Second
+	if h.cfg.Scale != Full {
+		bucket = 10 * time.Second
+	}
+	var tables []Table
+
+	// Left panel: the traces themselves.
+	for _, kind := range traces12 {
+		tr := h.Trace(kind)
+		st := tr.Analyze()
+		t := Table{
+			ID:      fmt.Sprintf("fig10-trace-%s", kind),
+			Title:   fmt.Sprintf("request rate over time, %s trace (CV %.2f, burst CV %.2f)", kind, st.CV, st.BurstCV),
+			Columns: []string{"time", "req/s"},
+		}
+		step := int(bucket.Seconds())
+		for i := 0; i+step <= len(st.PerSecond); i += step {
+			var sum float64
+			for j := i; j < i+step; j++ {
+				sum += st.PerSecond[j]
+			}
+			t.Rows = append(t.Rows, []string{fmt.Sprintf("%ds", i), f1(sum / float64(step))})
+		}
+		tables = append(tables, t)
+	}
+
+	// Right panels: normalized goodput timelines.
+	for _, kind := range traces12 {
+		for _, app := range apps12 {
+			t := Table{
+				ID:      fmt.Sprintf("fig10-%s-%s", app, kind),
+				Title:   fmt.Sprintf("normalized goodput over time, %s-%s", app, kind),
+				Columns: append([]string{"time"}, policy.Comparison()...),
+			}
+			series := make([][]float64, 0, len(policy.Comparison()))
+			var ts []time.Duration
+			for _, pol := range policy.Comparison() {
+				res, err := h.Run(app, kind, pol, RunOpts{})
+				if err != nil {
+					return nil, err
+				}
+				t2, vs := res.Collector.GoodputSeries(bucket)
+				ts = t2
+				series = append(series, vs)
+			}
+			for i := range ts {
+				row := []string{secs(ts[i])}
+				for _, vs := range series {
+					if i < len(vs) {
+						row = append(row, f3(vs[i]))
+					} else {
+						row = append(row, "-")
+					}
+				}
+				t.Rows = append(t.Rows, row)
+			}
+			tables = append(tables, t)
+		}
+	}
+	return &Output{Tables: tables, Notes: []string{
+		"Paper: PARD holds the highest goodput through the burst windows; Naive is worst everywhere (16%-176% goodput gap).",
+	}}, nil
+}

@@ -1,0 +1,397 @@
+// Package metrics implements the paper's evaluation metrics (§5.1):
+//
+//   - Goodput: requests completed within the latency SLO per unit time.
+//   - Drop rate: dropped requests / total requests, where a request that
+//     finished inference but violated the SLO also counts as dropped.
+//   - Invalid rate: GPU time consumed by dropped requests / total GPU time.
+//
+// The Collector stores one record per request and derives windowed series
+// post-hoc, which is what Figs. 2, 8, 9 and 10 plot: minimum normalized
+// goodput across window sizes, maximum average drop rate across window
+// sizes, and transient (per-bucket) rates over time.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Outcome classifies how a request's lifecycle ended.
+type Outcome int
+
+// Request outcomes.
+const (
+	// Good: completed the whole pipeline within the SLO.
+	Good Outcome = iota
+	// Late: completed the pipeline but missed the SLO (counts as dropped).
+	Late
+	// DroppedOutcome: explicitly dropped by the policy at some module.
+	DroppedOutcome
+)
+
+// String returns the outcome name.
+func (o Outcome) String() string {
+	switch o {
+	case Good:
+		return "good"
+	case Late:
+		return "late"
+	case DroppedOutcome:
+		return "dropped"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+}
+
+// Record is the per-request outcome stored by the Collector.
+type Record struct {
+	Send    time.Duration // client send time t_s
+	Done    time.Duration // completion or drop time
+	Outcome Outcome
+	// DropModule is the module that dropped the request, or -1.
+	DropModule int
+	// GPUTime is the total GPU time charged to this request across all
+	// modules it executed in (d(b)/b per batch membership).
+	GPUTime time.Duration
+}
+
+// Bad reports whether the record counts as dropped for drop-rate purposes.
+func (r Record) Bad() bool { return r.Outcome != Good }
+
+// Collector accumulates request records for one run.
+type Collector struct {
+	SLO      time.Duration
+	NModules int
+
+	records []Record
+	// aggregates maintained incrementally
+	good, late, dropped int
+	gpuTotal, gpuWasted time.Duration
+	perModuleDrops      []int
+	end                 time.Duration
+}
+
+// NewCollector returns a collector for a pipeline with n modules.
+func NewCollector(slo time.Duration, n int) *Collector {
+	if slo <= 0 {
+		panic(fmt.Sprintf("metrics: SLO must be positive, got %v", slo))
+	}
+	if n < 1 {
+		panic(fmt.Sprintf("metrics: module count must be >=1, got %d", n))
+	}
+	return &Collector{SLO: slo, NModules: n, perModuleDrops: make([]int, n)}
+}
+
+// Add records one finished request.
+func (c *Collector) Add(r Record) {
+	switch r.Outcome {
+	case Good:
+		c.good++
+	case Late:
+		c.late++
+	case DroppedOutcome:
+		c.dropped++
+		if r.DropModule >= 0 && r.DropModule < c.NModules {
+			c.perModuleDrops[r.DropModule]++
+		}
+	}
+	c.gpuTotal += r.GPUTime
+	if r.Bad() {
+		c.gpuWasted += r.GPUTime
+	}
+	if r.Done > c.end {
+		c.end = r.Done
+	}
+	if r.Send > c.end {
+		c.end = r.Send
+	}
+	c.records = append(c.records, r)
+}
+
+// Len returns the number of recorded requests.
+func (c *Collector) Len() int { return len(c.records) }
+
+// Records returns the raw records (callers must not mutate).
+func (c *Collector) Records() []Record { return c.records }
+
+// End returns the latest timestamp observed.
+func (c *Collector) End() time.Duration { return c.end }
+
+// Summary is the run-level aggregate.
+type Summary struct {
+	Total       int
+	Good        int
+	Late        int
+	Dropped     int     // policy drops only (excludes late)
+	DropRate    float64 // (dropped + late) / total
+	InvalidRate float64 // wasted GPU time / total GPU time
+	Goodput     float64 // good per second over the run span
+	OfferedRate float64 // total per second over the run span
+	// PerModuleDropPct[k] is the percentage of all policy drops that
+	// happened at module k (Fig. 2c / Fig. 11b).
+	PerModuleDropPct []float64
+	GPUTotal         time.Duration
+	GPUWasted        time.Duration
+}
+
+// Summary computes the aggregate metrics.
+func (c *Collector) Summary() Summary {
+	s := Summary{
+		Total:     len(c.records),
+		Good:      c.good,
+		Late:      c.late,
+		Dropped:   c.dropped,
+		GPUTotal:  c.gpuTotal,
+		GPUWasted: c.gpuWasted,
+	}
+	if s.Total > 0 {
+		s.DropRate = float64(c.dropped+c.late) / float64(s.Total)
+	}
+	if c.gpuTotal > 0 {
+		s.InvalidRate = float64(c.gpuWasted) / float64(c.gpuTotal)
+	}
+	if c.end > 0 {
+		s.Goodput = float64(c.good) / c.end.Seconds()
+		s.OfferedRate = float64(s.Total) / c.end.Seconds()
+	}
+	if c.dropped > 0 {
+		s.PerModuleDropPct = make([]float64, c.NModules)
+		for k, n := range c.perModuleDrops {
+			s.PerModuleDropPct[k] = 100 * float64(n) / float64(c.dropped)
+		}
+	} else {
+		s.PerModuleDropPct = make([]float64, c.NModules)
+	}
+	return s
+}
+
+// WindowPoint aggregates requests *sent* within [Start, Start+Width).
+type WindowPoint struct {
+	Start   time.Duration
+	Arrived int
+	Good    int
+	Bad     int // dropped + late
+}
+
+// NormalizedGoodput returns Good/Arrived, or 1 for an empty window (an idle
+// system is not failing anyone).
+func (w WindowPoint) NormalizedGoodput() float64 {
+	if w.Arrived == 0 {
+		return 1
+	}
+	return float64(w.Good) / float64(w.Arrived)
+}
+
+// DropRate returns Bad/Arrived, or 0 for an empty window.
+func (w WindowPoint) DropRate() float64 {
+	if w.Arrived == 0 {
+		return 0
+	}
+	return float64(w.Bad) / float64(w.Arrived)
+}
+
+// Windows buckets requests by send time into consecutive windows of the
+// given width covering [0, End].
+func (c *Collector) Windows(width time.Duration) []WindowPoint {
+	if width <= 0 {
+		panic(fmt.Sprintf("metrics: window width must be positive, got %v", width))
+	}
+	if len(c.records) == 0 {
+		return nil
+	}
+	n := int(c.end/width) + 1
+	out := make([]WindowPoint, n)
+	for i := range out {
+		out[i].Start = time.Duration(i) * width
+	}
+	for _, r := range c.records {
+		i := int(r.Send / width)
+		if i >= n {
+			i = n - 1
+		}
+		out[i].Arrived++
+		if r.Outcome == Good {
+			out[i].Good++
+		} else {
+			out[i].Bad++
+		}
+	}
+	return out
+}
+
+// MinNormalizedGoodput returns the minimum over windows of the normalized
+// goodput, skipping empty windows (Fig. 2a).
+func (c *Collector) MinNormalizedGoodput(width time.Duration) float64 {
+	min := math.Inf(1)
+	for _, w := range c.Windows(width) {
+		if w.Arrived == 0 {
+			continue
+		}
+		if g := w.NormalizedGoodput(); g < min {
+			min = g
+		}
+	}
+	if math.IsInf(min, 1) {
+		return 1
+	}
+	return min
+}
+
+// DropRateAtMinGoodput returns the drop rate of the window achieving the
+// minimum normalized goodput (Fig. 2b pairs drop rates with Fig. 2a's
+// windows).
+func (c *Collector) DropRateAtMinGoodput(width time.Duration) float64 {
+	min, rate := math.Inf(1), 0.0
+	for _, w := range c.Windows(width) {
+		if w.Arrived == 0 {
+			continue
+		}
+		if g := w.NormalizedGoodput(); g < min {
+			min, rate = g, w.DropRate()
+		}
+	}
+	return rate
+}
+
+// MaxDropRate returns the maximum per-window drop rate (Fig. 9).
+func (c *Collector) MaxDropRate(width time.Duration) float64 {
+	max := 0.0
+	for _, w := range c.Windows(width) {
+		if r := w.DropRate(); r > max {
+			max = r
+		}
+	}
+	return max
+}
+
+// GoodputSeries returns (start, normalized goodput) pairs for plotting the
+// Fig. 10 timelines.
+func (c *Collector) GoodputSeries(width time.Duration) ([]time.Duration, []float64) {
+	ws := c.Windows(width)
+	ts := make([]time.Duration, len(ws))
+	vs := make([]float64, len(ws))
+	for i, w := range ws {
+		ts[i] = w.Start
+		vs[i] = w.NormalizedGoodput()
+	}
+	return ts, vs
+}
+
+// DropRateSeries returns (start, drop rate) pairs (Fig. 2d transient drop
+// rate).
+func (c *Collector) DropRateSeries(width time.Duration) ([]time.Duration, []float64) {
+	ws := c.Windows(width)
+	ts := make([]time.Duration, len(ws))
+	vs := make([]float64, len(ws))
+	for i, w := range ws {
+		ts[i] = w.Start
+		vs[i] = w.DropRate()
+	}
+	return ts, vs
+}
+
+// LatencyQuantiles returns end-to-end latency quantiles (each q in [0,1])
+// over completed requests (Good and Late outcomes; drops have no meaningful
+// completion latency). Returns nil when nothing completed.
+func (c *Collector) LatencyQuantiles(qs ...float64) []time.Duration {
+	lats := make([]float64, 0, len(c.records))
+	for _, r := range c.records {
+		if r.Outcome == DroppedOutcome {
+			continue
+		}
+		lats = append(lats, (r.Done - r.Send).Seconds())
+	}
+	if len(lats) == 0 {
+		return nil
+	}
+	sort.Float64s(lats)
+	out := make([]time.Duration, len(qs))
+	for i, q := range qs {
+		if q < 0 {
+			q = 0
+		}
+		if q > 1 {
+			q = 1
+		}
+		idx := int(math.Ceil(q*float64(len(lats)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		out[i] = time.Duration(lats[idx] * float64(time.Second))
+	}
+	return out
+}
+
+// Series is a generic timestamped scalar stream used by simulator probes
+// (queueing delay per module, load factor, consumed budget, ...).
+type Series struct {
+	Name string
+	T    []time.Duration
+	V    []float64
+}
+
+// Add appends one sample; timestamps must be nondecreasing.
+func (s *Series) Add(at time.Duration, v float64) {
+	if n := len(s.T); n > 0 && at < s.T[n-1] {
+		at = s.T[n-1]
+	}
+	s.T = append(s.T, at)
+	s.V = append(s.V, v)
+}
+
+// Len returns the sample count.
+func (s *Series) Len() int { return len(s.T) }
+
+// Bucketed averages the series into consecutive buckets of the given width,
+// returning bucket starts and means. Empty buckets carry the previous mean
+// (step-hold), matching how the paper plots sparse runtime signals.
+func (s *Series) Bucketed(width time.Duration) ([]time.Duration, []float64) {
+	if width <= 0 || len(s.T) == 0 {
+		return nil, nil
+	}
+	end := s.T[len(s.T)-1]
+	n := int(end/width) + 1
+	sums := make([]float64, n)
+	counts := make([]int, n)
+	for i, at := range s.T {
+		b := int(at / width)
+		if b >= n {
+			b = n - 1
+		}
+		sums[b] += s.V[i]
+		counts[b]++
+	}
+	ts := make([]time.Duration, n)
+	vs := make([]float64, n)
+	prev := 0.0
+	for i := 0; i < n; i++ {
+		ts[i] = time.Duration(i) * width
+		if counts[i] > 0 {
+			prev = sums[i] / float64(counts[i])
+		}
+		vs[i] = prev
+	}
+	return ts, vs
+}
+
+// Quantile returns the q-quantile of the series values.
+func (s *Series) Quantile(q float64) float64 {
+	if len(s.V) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), s.V...)
+	sort.Float64s(cp)
+	if q <= 0 {
+		return cp[0]
+	}
+	if q >= 1 {
+		return cp[len(cp)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(cp)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return cp[idx]
+}

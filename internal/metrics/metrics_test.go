@@ -1,0 +1,328 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func mkCollector() *Collector { return NewCollector(500*time.Millisecond, 5) }
+
+func TestNewCollectorPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewCollector(0, 5) },
+		func() { NewCollector(time.Second, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSummaryCounts(t *testing.T) {
+	c := mkCollector()
+	c.Add(Record{Send: 0, Done: 100 * time.Millisecond, Outcome: Good, DropModule: -1, GPUTime: 10 * time.Millisecond})
+	c.Add(Record{Send: 0, Done: 900 * time.Millisecond, Outcome: Late, DropModule: -1, GPUTime: 30 * time.Millisecond})
+	c.Add(Record{Send: time.Second, Done: time.Second + 50*time.Millisecond, Outcome: DroppedOutcome, DropModule: 2, GPUTime: 20 * time.Millisecond})
+	s := c.Summary()
+	if s.Total != 3 || s.Good != 1 || s.Late != 1 || s.Dropped != 1 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if math.Abs(s.DropRate-2.0/3) > 1e-12 {
+		t.Fatalf("drop rate = %v", s.DropRate)
+	}
+	// Invalid: (30+20)/(10+30+20).
+	if math.Abs(s.InvalidRate-50.0/60) > 1e-12 {
+		t.Fatalf("invalid rate = %v", s.InvalidRate)
+	}
+	if s.PerModuleDropPct[2] != 100 {
+		t.Fatalf("per-module drops = %v", s.PerModuleDropPct)
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	c := mkCollector()
+	s := c.Summary()
+	if s.Total != 0 || s.DropRate != 0 || s.InvalidRate != 0 || s.Goodput != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	if len(s.PerModuleDropPct) != 5 {
+		t.Fatalf("per-module slice = %v", s.PerModuleDropPct)
+	}
+}
+
+func TestGoodputPerSecond(t *testing.T) {
+	c := mkCollector()
+	// 10 good requests completing over 2 seconds → goodput 5/s.
+	for i := 0; i < 10; i++ {
+		at := time.Duration(i) * 200 * time.Millisecond
+		c.Add(Record{Send: at, Done: at + 100*time.Millisecond, Outcome: Good, DropModule: -1})
+	}
+	s := c.Summary()
+	want := 10 / c.End().Seconds()
+	if math.Abs(s.Goodput-want) > 1e-9 {
+		t.Fatalf("goodput = %v, want %v", s.Goodput, want)
+	}
+}
+
+func TestWindows(t *testing.T) {
+	c := mkCollector()
+	// Window 0: 2 good. Window 1: 1 good 1 bad. Window 2: 2 bad.
+	add := func(sendSec float64, o Outcome) {
+		at := time.Duration(sendSec * float64(time.Second))
+		c.Add(Record{Send: at, Done: at, Outcome: o, DropModule: 0})
+	}
+	add(0.1, Good)
+	add(0.2, Good)
+	add(1.1, Good)
+	add(1.2, DroppedOutcome)
+	add(2.1, Late)
+	add(2.2, DroppedOutcome)
+	ws := c.Windows(time.Second)
+	if len(ws) != 3 {
+		t.Fatalf("windows = %d", len(ws))
+	}
+	if g := ws[0].NormalizedGoodput(); g != 1 {
+		t.Fatalf("w0 goodput = %v", g)
+	}
+	if g := ws[1].NormalizedGoodput(); g != 0.5 {
+		t.Fatalf("w1 goodput = %v", g)
+	}
+	if r := ws[2].DropRate(); r != 1 {
+		t.Fatalf("w2 drop rate = %v", r)
+	}
+	if got := c.MinNormalizedGoodput(time.Second); got != 0 {
+		t.Fatalf("min goodput = %v", got)
+	}
+	if got := c.MaxDropRate(time.Second); got != 1 {
+		t.Fatalf("max drop rate = %v", got)
+	}
+	if got := c.DropRateAtMinGoodput(time.Second); got != 1 {
+		t.Fatalf("drop at min goodput = %v", got)
+	}
+}
+
+func TestWindowsEmptyAndPanics(t *testing.T) {
+	c := mkCollector()
+	if ws := c.Windows(time.Second); ws != nil {
+		t.Fatalf("empty collector windows = %v", ws)
+	}
+	if g := c.MinNormalizedGoodput(time.Second); g != 1 {
+		t.Fatalf("empty min goodput = %v", g)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on zero width")
+		}
+	}()
+	c.Add(Record{Outcome: Good, DropModule: -1})
+	c.Windows(0)
+}
+
+func TestEmptyWindowConventions(t *testing.T) {
+	w := WindowPoint{}
+	if w.NormalizedGoodput() != 1 {
+		t.Fatal("empty window goodput should be 1")
+	}
+	if w.DropRate() != 0 {
+		t.Fatal("empty window drop rate should be 0")
+	}
+}
+
+func TestSeriesGaps(t *testing.T) {
+	// Min goodput must skip windows with no arrivals rather than treating
+	// them as zero.
+	c := mkCollector()
+	c.Add(Record{Send: 0, Done: 0, Outcome: Good, DropModule: -1})
+	c.Add(Record{Send: 5 * time.Second, Done: 5 * time.Second, Outcome: Good, DropModule: -1})
+	if g := c.MinNormalizedGoodput(time.Second); g != 1 {
+		t.Fatalf("min goodput with gaps = %v", g)
+	}
+}
+
+func TestGoodputAndDropSeries(t *testing.T) {
+	c := mkCollector()
+	c.Add(Record{Send: 100 * time.Millisecond, Done: 200 * time.Millisecond, Outcome: Good, DropModule: -1})
+	c.Add(Record{Send: 1100 * time.Millisecond, Done: 1100 * time.Millisecond, Outcome: DroppedOutcome, DropModule: 1})
+	ts, gs := c.GoodputSeries(time.Second)
+	if len(ts) != 2 || gs[0] != 1 || gs[1] != 0 {
+		t.Fatalf("goodput series = %v %v", ts, gs)
+	}
+	_, ds := c.DropRateSeries(time.Second)
+	if ds[0] != 0 || ds[1] != 1 {
+		t.Fatalf("drop series = %v", ds)
+	}
+}
+
+func TestPerModuleDropPctSums(t *testing.T) {
+	c := mkCollector()
+	for m := 0; m < 5; m++ {
+		for i := 0; i <= m; i++ {
+			c.Add(Record{Outcome: DroppedOutcome, DropModule: m})
+		}
+	}
+	s := c.Summary()
+	var sum float64
+	for _, p := range s.PerModuleDropPct {
+		sum += p
+	}
+	if math.Abs(sum-100) > 1e-9 {
+		t.Fatalf("per-module percentages sum to %v", sum)
+	}
+	if s.PerModuleDropPct[4] <= s.PerModuleDropPct[0] {
+		t.Fatalf("expected more drops at module 4: %v", s.PerModuleDropPct)
+	}
+}
+
+func TestSeriesBucketed(t *testing.T) {
+	var s Series
+	s.Add(100*time.Millisecond, 10)
+	s.Add(200*time.Millisecond, 20)
+	s.Add(2500*time.Millisecond, 40)
+	ts, vs := s.Bucketed(time.Second)
+	if len(ts) != 3 {
+		t.Fatalf("buckets = %d", len(ts))
+	}
+	if vs[0] != 15 {
+		t.Fatalf("bucket 0 = %v", vs[0])
+	}
+	if vs[1] != 15 { // empty bucket holds previous value
+		t.Fatalf("bucket 1 = %v", vs[1])
+	}
+	if vs[2] != 40 {
+		t.Fatalf("bucket 2 = %v", vs[2])
+	}
+}
+
+func TestSeriesOutOfOrderClamped(t *testing.T) {
+	var s Series
+	s.Add(time.Second, 1)
+	s.Add(500*time.Millisecond, 2)
+	if s.T[1] != time.Second {
+		t.Fatalf("timestamps = %v", s.T)
+	}
+}
+
+func TestSeriesQuantile(t *testing.T) {
+	var s Series
+	for i := 1; i <= 100; i++ {
+		s.Add(time.Duration(i)*time.Millisecond, float64(i))
+	}
+	if q := s.Quantile(0.5); q != 50 {
+		t.Fatalf("median = %v", q)
+	}
+	if q := s.Quantile(0); q != 1 {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := s.Quantile(1); q != 100 {
+		t.Fatalf("q1 = %v", q)
+	}
+	var empty Series
+	if q := empty.Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %v", q)
+	}
+}
+
+func TestLatencyQuantiles(t *testing.T) {
+	c := mkCollector()
+	for i := 1; i <= 100; i++ {
+		c.Add(Record{
+			Send:       0,
+			Done:       time.Duration(i) * time.Millisecond,
+			Outcome:    Good,
+			DropModule: -1,
+		})
+	}
+	// Drops must be excluded.
+	c.Add(Record{Send: 0, Done: 10 * time.Second, Outcome: DroppedOutcome, DropModule: 1})
+	qs := c.LatencyQuantiles(0.5, 0.99, 0, 1)
+	if qs[0] != 50*time.Millisecond {
+		t.Fatalf("p50 = %v", qs[0])
+	}
+	if qs[1] != 99*time.Millisecond {
+		t.Fatalf("p99 = %v", qs[1])
+	}
+	if qs[2] != time.Millisecond || qs[3] != 100*time.Millisecond {
+		t.Fatalf("extremes = %v %v", qs[2], qs[3])
+	}
+}
+
+func TestLatencyQuantilesEmpty(t *testing.T) {
+	c := mkCollector()
+	if qs := c.LatencyQuantiles(0.5); qs != nil {
+		t.Fatalf("empty quantiles = %v", qs)
+	}
+	c.Add(Record{Outcome: DroppedOutcome, DropModule: 0})
+	if qs := c.LatencyQuantiles(0.5); qs != nil {
+		t.Fatalf("drop-only quantiles = %v", qs)
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	if Good.String() != "good" || Late.String() != "late" || DroppedOutcome.String() != "dropped" {
+		t.Fatal("outcome strings wrong")
+	}
+	if Outcome(9).String() == "" {
+		t.Fatal("unknown outcome empty")
+	}
+}
+
+// Property: conservation — windows partition all records, so the sum of
+// Arrived equals the record count and Good+Bad == Arrived per window.
+func TestPropertyWindowConservation(t *testing.T) {
+	f := func(sends []uint16, outcomes []uint8) bool {
+		c := mkCollector()
+		n := len(sends)
+		if len(outcomes) < n {
+			n = len(outcomes)
+		}
+		for i := 0; i < n; i++ {
+			o := Outcome(outcomes[i] % 3)
+			at := time.Duration(sends[i]) * time.Millisecond
+			c.Add(Record{Send: at, Done: at, Outcome: o, DropModule: 0})
+		}
+		if n == 0 {
+			return true
+		}
+		total := 0
+		for _, w := range c.Windows(7 * time.Millisecond) {
+			if w.Good+w.Bad != w.Arrived {
+				return false
+			}
+			total += w.Arrived
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: drop rate and invalid rate are always within [0,1].
+func TestPropertyRatesBounded(t *testing.T) {
+	f := func(outcomes []uint8, gpu []uint16) bool {
+		c := mkCollector()
+		n := len(outcomes)
+		if len(gpu) < n {
+			n = len(gpu)
+		}
+		for i := 0; i < n; i++ {
+			c.Add(Record{
+				Outcome:    Outcome(outcomes[i] % 3),
+				DropModule: i % 5,
+				GPUTime:    time.Duration(gpu[i]) * time.Microsecond,
+			})
+		}
+		s := c.Summary()
+		return s.DropRate >= 0 && s.DropRate <= 1 && s.InvalidRate >= 0 && s.InvalidRate <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

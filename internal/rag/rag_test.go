@@ -1,0 +1,164 @@
+package rag
+
+import (
+	"testing"
+	"time"
+
+	"pard/internal/stats"
+)
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{Queries: 10, Rate: 1, SLO: 0, Policy: Reactive},
+		{Queries: 10, Rate: 1, SLO: time.Second, Policy: "bogus", RewriteSlots: 1, GenerateSlots: 1},
+		{Queries: 10, Rate: 1, SLO: time.Second, Policy: Reactive, RewriteSlots: 0, GenerateSlots: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg); err == nil {
+			t.Fatalf("config %d accepted", i)
+		}
+	}
+}
+
+func TestConservation(t *testing.T) {
+	for _, p := range append(Policies(), NoDrop) {
+		cfg := DefaultConfig(p)
+		cfg.Queries = 2000
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if res.Total != cfg.Queries {
+			t.Fatalf("%s: total %d, want %d", p, res.Total, cfg.Queries)
+		}
+		if res.Good+res.Late+res.Dropped != res.Total {
+			t.Fatalf("%s: %d+%d+%d != %d", p, res.Good, res.Late, res.Dropped, res.Total)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := DefaultConfig(Proactive)
+	cfg.Queries = 1500
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Good != b.Good || a.Dropped != b.Dropped || a.Late != b.Late {
+		t.Fatalf("runs diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestPolicyOrdering(t *testing.T) {
+	// Fig. 15a: drop rate predict < proactive < reactive, goodput the
+	// reverse order.
+	results := map[PolicyKind]*Result{}
+	for _, p := range Policies() {
+		cfg := DefaultConfig(p)
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[p] = res
+	}
+	re, pro, pred := results[Reactive], results[Proactive], results[Predict]
+	if !(pred.DropRate < pro.DropRate && pro.DropRate < re.DropRate) {
+		t.Fatalf("drop ordering violated: predict %.3f, proactive %.3f, reactive %.3f",
+			pred.DropRate, pro.DropRate, re.DropRate)
+	}
+	if !(pred.NormalizedGoodput > pro.NormalizedGoodput && pro.NormalizedGoodput > re.NormalizedGoodput) {
+		t.Fatalf("goodput ordering violated: predict %.3f, proactive %.3f, reactive %.3f",
+			pred.NormalizedGoodput, pro.NormalizedGoodput, re.NormalizedGoodput)
+	}
+	// All three policies leave a nonzero residual drop rate (§7: even
+	// proactive leaves ~17%, predict ~11%).
+	if pred.DropRate <= 0 {
+		t.Fatal("predict policy dropped nothing; workload not stressed")
+	}
+}
+
+func TestReactiveDropsLate(t *testing.T) {
+	// Reactive can only drop after the SLO has been consumed, so its drops
+	// land in later stages than proactive's.
+	re, err := Run(DefaultConfig(Reactive))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pro, err := Run(DefaultConfig(Proactive))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "Late" here means after the rewrite LLM already ran, i.e. the drop
+	// wasted LLM work.
+	lateShare := func(r *Result) float64 {
+		total := 0
+		for _, n := range r.DropsPerStage {
+			total += n
+		}
+		if total == 0 {
+			return 0
+		}
+		return float64(total-r.DropsPerStage[StageRewrite]) / float64(total)
+	}
+	if lateShare(re) < lateShare(pro) {
+		t.Fatalf("reactive late-stage drop share %.3f < proactive %.3f",
+			lateShare(re), lateShare(pro))
+	}
+}
+
+func TestLatencyDistributions(t *testing.T) {
+	res, err := Run(DefaultConfig(Proactive))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range res.Latencies {
+		if len(s.Samples) == 0 {
+			t.Fatalf("stage %s has no latency samples", StageNames[i])
+		}
+	}
+	// Fig. 15b: retrieve is the fastest stage; search has the heaviest tail.
+	med := func(stage int) float64 {
+		return stats.Percentiles(res.Latencies[stage].Samples, 0.5)[0]
+	}
+	p99 := func(stage int) float64 {
+		return stats.Percentiles(res.Latencies[stage].Samples, 0.99)[0]
+	}
+	if med(StageRetrieve) >= med(StageRewrite) || med(StageRetrieve) >= med(StageSearch) {
+		t.Fatalf("retrieve should be fastest: med retrieve %.3f rewrite %.3f search %.3f",
+			med(StageRetrieve), med(StageRewrite), med(StageSearch))
+	}
+	if p99(StageSearch) < 4*med(StageSearch) {
+		t.Fatalf("search should be long-tailed: p99 %.3f vs median %.3f",
+			p99(StageSearch), med(StageSearch))
+	}
+}
+
+func TestNoDropBaseline(t *testing.T) {
+	cfg := DefaultConfig(NoDrop)
+	cfg.Queries = 3000
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped != 0 {
+		t.Fatalf("nodrop dropped %d requests", res.Dropped)
+	}
+	if res.Good+res.Late != res.Total {
+		t.Fatal("nodrop lost requests")
+	}
+}
+
+func BenchmarkRAGProactive(b *testing.B) {
+	cfg := DefaultConfig(Proactive)
+	cfg.Queries = 2000
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

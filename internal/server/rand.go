@@ -1,0 +1,6 @@
+package server
+
+import "math/rand"
+
+// newRand returns a seeded random source for policy internals.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

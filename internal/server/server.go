@@ -1,0 +1,433 @@
+// Package server is the wall-clock serving runtime: the same controller /
+// worker / policy architecture as the simulator (Fig. 4), but with real
+// goroutine workers, mutex-guarded queues and an HTTP data plane. Model
+// execution is simulated by sleeping the profiled duration — the scheduler
+// code paths (queueing, batching, dropping, state sync) are the real thing.
+//
+// The live runtime serves chain pipelines; DAG pipelines are supported by
+// the discrete-event simulator (internal/simgpu), which the experiments use.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"pard/internal/core"
+	"pard/internal/depq"
+	"pard/internal/metrics"
+	"pard/internal/pipeline"
+	"pard/internal/policy"
+	"pard/internal/profile"
+	"pard/internal/sim"
+	"pard/internal/simgpu"
+	"pard/internal/stats"
+)
+
+// Config describes a live serving deployment.
+type Config struct {
+	Spec *pipeline.Spec
+	Lib  *profile.Library
+	// PolicyName selects the dropping policy (default "pard").
+	PolicyName string
+	// Workers is the per-module worker count (default 2 each).
+	Workers []int
+	// SyncPeriod is the state-synchronization interval (default 250 ms; the
+	// live demo favors responsiveness over the paper's 1 s).
+	SyncPeriod time.Duration
+	// BatchFrac as in the simulator (default 0.5).
+	BatchFrac float64
+	// Seed drives the policy's random streams.
+	Seed int64
+}
+
+// Outcome is the terminal state of a live request.
+type Outcome string
+
+// Outcomes.
+const (
+	OutcomeGood    Outcome = "good"
+	OutcomeLate    Outcome = "late"
+	OutcomeDropped Outcome = "dropped"
+)
+
+// Response is the JSON reply of POST /infer.
+type Response struct {
+	ID        uint64  `json:"id"`
+	Outcome   Outcome `json:"outcome"`
+	LatencyMS float64 `json:"latency_ms"`
+	// DropModule is set when Outcome is "dropped".
+	DropModule int `json:"drop_module,omitempty"`
+}
+
+type liveReq struct {
+	id       uint64
+	send     time.Duration
+	deadline time.Duration
+	arrive   time.Duration
+	done     chan Response
+}
+
+type liveWorker struct {
+	mod    *liveModule
+	queue  depq.Queue[*liveReq]
+	wake   chan struct{}
+	closed bool
+}
+
+type liveModule struct {
+	srv         *Server
+	idx         int
+	model       profile.Model
+	targetBatch int
+	targetDur   time.Duration
+	workers     []*liveWorker
+	next        int // round-robin dispatch cursor
+
+	qWin    *stats.SlidingWindow
+	waitRes *stats.Reservoir
+	rateWin *stats.RateWindow
+}
+
+// Server hosts one pipeline.
+type Server struct {
+	cfg   Config
+	clock sim.Clock
+
+	mu      sync.Mutex
+	pol     policy.Policy
+	board   *core.Board
+	modules []*liveModule
+	col     *metrics.Collector
+	nextID  uint64
+	stopped bool
+	stopCh  chan struct{}
+	wg      sync.WaitGroup
+}
+
+// New validates the config and builds (but does not start) a server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Spec == nil {
+		return nil, fmt.Errorf("server: config needs a pipeline spec")
+	}
+	if err := cfg.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	if !cfg.Spec.IsChain() {
+		return nil, fmt.Errorf("server: live runtime serves chain pipelines; use the simulator for DAGs")
+	}
+	if cfg.Lib == nil {
+		cfg.Lib = profile.DefaultLibrary()
+	}
+	if cfg.PolicyName == "" {
+		cfg.PolicyName = "pard"
+	}
+	if cfg.SyncPeriod <= 0 {
+		cfg.SyncPeriod = 250 * time.Millisecond
+	}
+	if cfg.BatchFrac <= 0 {
+		cfg.BatchFrac = 0.5
+	}
+	n := cfg.Spec.N()
+	if cfg.Workers == nil {
+		cfg.Workers = make([]int, n)
+		for i := range cfg.Workers {
+			cfg.Workers[i] = 2
+		}
+	}
+	if len(cfg.Workers) != n {
+		return nil, fmt.Errorf("server: %d worker counts for %d modules", len(cfg.Workers), n)
+	}
+	batches, durs, err := simgpu.TargetBatches(cfg.Spec, cfg.Lib, cfg.BatchFrac)
+	if err != nil {
+		return nil, err
+	}
+	pol, err := policy.New(cfg.PolicyName, policy.Setup{
+		Spec: cfg.Spec,
+		Durs: durs,
+		Rng:  newRand(cfg.Seed),
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:    cfg,
+		clock:  sim.NewWallClock(),
+		pol:    pol,
+		board:  core.NewBoard(n),
+		col:    metrics.NewCollector(cfg.Spec.SLO, n),
+		stopCh: make(chan struct{}),
+	}
+	for k := 0; k < n; k++ {
+		model, err := cfg.Lib.Get(cfg.Spec.Modules[k].Name)
+		if err != nil {
+			return nil, err
+		}
+		m := &liveModule{
+			srv:         s,
+			idx:         k,
+			model:       model,
+			targetBatch: batches[k],
+			targetDur:   durs[k],
+			qWin:        stats.NewSlidingWindow(5 * time.Second),
+			waitRes:     stats.NewReservoir(256, newRand(cfg.Seed+int64(k)+10)),
+			rateWin:     stats.NewRateWindow(5 * time.Second),
+		}
+		for w := 0; w < cfg.Workers[k]; w++ {
+			lw := &liveWorker{mod: m, wake: make(chan struct{}, 1)}
+			if pol.Queue() == policy.KindDEPQ {
+				lw.queue = depq.New[*liveReq]()
+			} else {
+				lw.queue = depq.NewFIFO[*liveReq]()
+			}
+			m.workers = append(m.workers, lw)
+		}
+		s.modules = append(s.modules, m)
+	}
+	return s, nil
+}
+
+// Start launches worker and sync goroutines.
+func (s *Server) Start() {
+	for _, m := range s.modules {
+		for _, w := range m.workers {
+			s.wg.Add(1)
+			go s.workerLoop(w)
+		}
+	}
+	s.wg.Add(1)
+	go s.syncLoop()
+}
+
+// Stop terminates all goroutines; queued requests are dropped.
+func (s *Server) Stop() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	close(s.stopCh)
+	for _, m := range s.modules {
+		for _, w := range m.workers {
+			w.closed = true
+			select {
+			case w.wake <- struct{}{}:
+			default:
+			}
+		}
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Submit enqueues one request and returns a channel delivering its outcome.
+func (s *Server) Submit() <-chan Response {
+	now := s.clock.Now()
+	s.mu.Lock()
+	id := s.nextID
+	s.nextID++
+	req := &liveReq{
+		id:       id,
+		send:     now,
+		deadline: now + s.cfg.Spec.SLO,
+		done:     make(chan Response, 1),
+	}
+	s.enqueueLocked(req, 0, now)
+	s.mu.Unlock()
+	return req.done
+}
+
+// enqueueLocked routes a request into module k. Caller holds s.mu.
+func (s *Server) enqueueLocked(req *liveReq, k int, now time.Duration) {
+	m := s.modules[k]
+	m.rateWin.Observe(now)
+	req.arrive = now
+	ri := policy.RequestInfo{Send: req.send, Deadline: req.deadline, ArriveModule: now}
+	if !s.pol.Admit(k, now, ri) {
+		s.finishLocked(req, Response{ID: req.id, Outcome: OutcomeDropped, DropModule: k}, now, k)
+		return
+	}
+	// Round-robin over workers with the shortest queue.
+	best := m.workers[m.next%len(m.workers)]
+	m.next++
+	for _, w := range m.workers {
+		if w.queue.Len() < best.queue.Len() {
+			best = w
+		}
+	}
+	best.queue.Push(req, int64(req.deadline))
+	select {
+	case best.wake <- struct{}{}:
+	default:
+	}
+}
+
+// finishLocked records a terminal outcome. Caller holds s.mu.
+func (s *Server) finishLocked(req *liveReq, resp Response, now time.Duration, dropModule int) {
+	resp.LatencyMS = float64((now - req.send).Microseconds()) / 1000
+	rec := metrics.Record{Send: req.send, Done: now, DropModule: -1}
+	switch resp.Outcome {
+	case OutcomeGood:
+		rec.Outcome = metrics.Good
+	case OutcomeLate:
+		rec.Outcome = metrics.Late
+	case OutcomeDropped:
+		rec.Outcome = metrics.DroppedOutcome
+		rec.DropModule = dropModule
+	}
+	s.col.Add(rec)
+	req.done <- resp
+}
+
+// workerLoop is one GPU worker: form a batch under the lock, sleep the
+// profiled duration, forward downstream.
+func (s *Server) workerLoop(w *liveWorker) {
+	defer s.wg.Done()
+	m := w.mod
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-w.wake:
+		}
+		for {
+			now := s.clock.Now()
+			s.mu.Lock()
+			if s.stopped {
+				s.mu.Unlock()
+				return
+			}
+			batch := s.formBatchLocked(w, now)
+			s.mu.Unlock()
+			if len(batch) == 0 {
+				break // wait for the next wake-up
+			}
+			dur := m.model.Duration(len(batch))
+			time.Sleep(dur)
+			end := s.clock.Now()
+			s.mu.Lock()
+			for _, req := range batch {
+				if m.idx == len(s.modules)-1 {
+					out := OutcomeGood
+					if end > req.deadline {
+						out = OutcomeLate
+					}
+					s.finishLocked(req, Response{ID: req.id, Outcome: out}, end, -1)
+					continue
+				}
+				s.enqueueLocked(req, m.idx+1, end)
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+// formBatchLocked pops up to the target batch size, applying the drop
+// policy per request. Caller holds s.mu.
+func (s *Server) formBatchLocked(w *liveWorker, now time.Duration) []*liveReq {
+	m := w.mod
+	var batch []*liveReq
+	for len(batch) < m.targetBatch && w.queue.Len() > 0 {
+		var req *liveReq
+		var ok bool
+		if s.pol.PopEnd(m.idx) == policy.MaxEnd {
+			req, _, ok = w.queue.PopMax()
+		} else {
+			req, _, ok = w.queue.PopMin()
+		}
+		if !ok {
+			break
+		}
+		q := now - req.arrive
+		ctx := policy.DecideCtx{
+			Req:           policy.RequestInfo{Send: req.send, Deadline: req.deadline, ArriveModule: req.arrive},
+			Module:        m.idx,
+			Now:           now,
+			ExpectedStart: now,
+			ExecDur:       m.targetDur,
+			SLO:           s.cfg.Spec.SLO,
+		}
+		if !s.pol.Decide(ctx) {
+			s.finishLocked(req, Response{ID: req.id, Outcome: OutcomeDropped, DropModule: m.idx}, now, m.idx)
+			continue
+		}
+		m.qWin.Add(now, q.Seconds())
+		m.waitRes.Add(0) // live runtime executes formed batches immediately
+		batch = append(batch, req)
+	}
+	return batch
+}
+
+// syncLoop publishes module state and refreshes the policy periodically.
+func (s *Server) syncLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.SyncPeriod)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-ticker.C:
+		}
+		now := s.clock.Now()
+		s.mu.Lock()
+		for _, m := range s.modules {
+			qMean, _ := m.qWin.Mean(now)
+			st := core.ModuleState{
+				QueueDelay:  time.Duration(qMean * float64(time.Second)),
+				ProfiledDur: m.targetDur,
+				BatchWait:   append([]float64(nil), m.waitRes.Values()...),
+				InputRate:   m.rateWin.Rate(now),
+				Throughput:  float64(len(m.workers)) * m.model.Throughput(m.targetBatch),
+			}
+			st.Overloaded = st.QueueDelay > 20*time.Millisecond
+			s.board.Publish(m.idx, st)
+		}
+		s.pol.OnSync(now, s.board)
+		s.mu.Unlock()
+	}
+}
+
+// Summary returns the live metrics snapshot.
+func (s *Server) Summary() metrics.Summary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.col.Summary()
+}
+
+// Handler returns the HTTP data plane:
+//
+//	POST /infer   — run one request through the pipeline
+//	GET  /stats   — metrics summary JSON
+//	GET  /healthz — liveness
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/infer", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		select {
+		case resp := <-s.Submit():
+			w.Header().Set("Content-Type", "application/json")
+			if err := json.NewEncoder(w).Encode(resp); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		case <-time.After(10 * s.cfg.Spec.SLO):
+			http.Error(w, "pipeline stalled", http.StatusGatewayTimeout)
+		}
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(s.Summary()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}

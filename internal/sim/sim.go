@@ -1,0 +1,214 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine is a classic event-heap design: callers schedule callbacks at
+// virtual timestamps, and Run dispatches them in timestamp order, advancing
+// a virtual clock. Ties are broken by schedule order so runs with the same
+// seed are bit-for-bit reproducible.
+//
+// All durations and timestamps are time.Duration offsets from the start of
+// the simulation (t = 0). Using integer nanoseconds avoids the cross-platform
+// floating-point drift that would break determinism tests.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Event is a scheduled callback. Fire is invoked with the engine so the
+// callback can schedule follow-up events.
+type Event struct {
+	at   time.Duration
+	seq  uint64
+	fn   func(*Engine)
+	name string
+	// index in the heap, or -1 when cancelled/popped.
+	index int
+}
+
+// At returns the virtual timestamp this event fires at.
+func (e *Event) At() time.Duration { return e.at }
+
+// Name returns the optional debug name attached at schedule time.
+func (e *Event) Name() string { return e.name }
+
+// Cancelled reports whether the event was cancelled before firing.
+func (e *Event) Cancelled() bool { return e.fn == nil }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator instance. It is not safe for
+// concurrent use; the simulation is single-threaded by design.
+type Engine struct {
+	now     time.Duration
+	seq     uint64
+	events  eventHeap
+	rng     *rand.Rand
+	fired   uint64
+	stopped bool
+	horizon time.Duration
+}
+
+// New returns an engine whose random streams derive from seed.
+func New(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Fired returns the number of events dispatched so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Schedule registers fn to run at absolute virtual time at. Events scheduled
+// in the past (before Now) fire immediately at the current time, preserving
+// order. The returned Event may be passed to Cancel.
+func (e *Engine) Schedule(at time.Duration, name string, fn func(*Engine)) *Event {
+	if fn == nil {
+		panic("sim: Schedule called with nil callback")
+	}
+	if at < e.now {
+		at = e.now
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn, name: name}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d time.Duration, name string, fn func(*Engine)) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.Schedule(e.now+d, name, fn)
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.fn == nil || ev.index < 0 {
+		if ev != nil {
+			ev.fn = nil
+		}
+		return
+	}
+	heap.Remove(&e.events, ev.index)
+	ev.fn = nil
+	ev.index = -1
+}
+
+// Stop halts the run loop after the current event returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run dispatches events in timestamp order until the queue drains, the
+// horizon (if positive) is reached, or Stop is called. It returns the final
+// virtual time.
+func (e *Engine) Run(horizon time.Duration) time.Duration {
+	e.horizon = horizon
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.fn == nil {
+			continue
+		}
+		if horizon > 0 && ev.at > horizon {
+			e.now = horizon
+			return e.now
+		}
+		e.now = ev.at
+		fn := ev.fn
+		ev.fn = nil
+		e.fired++
+		fn(e)
+	}
+	if horizon > 0 && e.now < horizon {
+		e.now = horizon
+	}
+	return e.now
+}
+
+// Step dispatches exactly one event, returning false when the queue is empty.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.fn == nil {
+			continue
+		}
+		e.now = ev.at
+		fn := ev.fn
+		ev.fn = nil
+		e.fired++
+		fn(e)
+		return true
+	}
+	return false
+}
+
+// Pending returns the number of events still queued (including cancelled
+// placeholders not yet drained).
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Ticker repeatedly schedules fn every period until the predicate returns
+// false or the engine stops. The first tick fires at Now()+period.
+func (e *Engine) Ticker(period time.Duration, name string, fn func(*Engine) bool) {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: Ticker period must be positive, got %v", period))
+	}
+	var tick func(*Engine)
+	tick = func(en *Engine) {
+		if !fn(en) {
+			return
+		}
+		en.After(period, name, tick)
+	}
+	e.After(period, name, tick)
+}
+
+// Clock abstracts virtual vs wall time so scheduler logic can run under the
+// simulator and the live server unchanged.
+type Clock interface {
+	// Now returns the elapsed time since the start of the run.
+	Now() time.Duration
+}
+
+// WallClock implements Clock over the real monotonic clock.
+type WallClock struct{ start time.Time }
+
+// NewWallClock returns a Clock anchored at the current instant.
+func NewWallClock() *WallClock { return &WallClock{start: time.Now()} }
+
+// Now returns time elapsed since the clock was created.
+func (w *WallClock) Now() time.Duration { return time.Since(w.start) }

@@ -1,0 +1,309 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := New(1)
+	var got []int
+	e.Schedule(30*time.Millisecond, "c", func(*Engine) { got = append(got, 3) })
+	e.Schedule(10*time.Millisecond, "a", func(*Engine) { got = append(got, 1) })
+	e.Schedule(20*time.Millisecond, "b", func(*Engine) { got = append(got, 2) })
+	end := e.Run(0)
+	if end != 30*time.Millisecond {
+		t.Fatalf("end time = %v, want 30ms", end)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTieBreakBySequence(t *testing.T) {
+	e := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5*time.Millisecond, "tie", func(*Engine) { got = append(got, i) })
+	}
+	e.Run(0)
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("tie order = %v, want ascending schedule order", got)
+		}
+	}
+}
+
+func TestAfterAndNow(t *testing.T) {
+	e := New(1)
+	e.After(10*time.Millisecond, "outer", func(en *Engine) {
+		if en.Now() != 10*time.Millisecond {
+			t.Errorf("Now = %v, want 10ms", en.Now())
+		}
+		en.After(5*time.Millisecond, "inner", func(en2 *Engine) {
+			if en2.Now() != 15*time.Millisecond {
+				t.Errorf("Now = %v, want 15ms", en2.Now())
+			}
+		})
+	})
+	e.Run(0)
+	if e.Fired() != 2 {
+		t.Fatalf("fired = %d, want 2", e.Fired())
+	}
+}
+
+func TestScheduleInPastClampsToNow(t *testing.T) {
+	e := New(1)
+	var at time.Duration = -1
+	e.Schedule(20*time.Millisecond, "first", func(en *Engine) {
+		en.Schedule(5*time.Millisecond, "past", func(en2 *Engine) { at = en2.Now() })
+	})
+	e.Run(0)
+	if at != 20*time.Millisecond {
+		t.Fatalf("past event fired at %v, want clamped to 20ms", at)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New(1)
+	fired := false
+	ev := e.Schedule(10*time.Millisecond, "x", func(*Engine) { fired = true })
+	e.Cancel(ev)
+	e.Cancel(ev) // double-cancel is a no-op
+	e.Run(0)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Fatal("event not marked cancelled")
+	}
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	e := New(1)
+	var got []int
+	var evs []*Event
+	for i := 0; i < 20; i++ {
+		i := i
+		evs = append(evs, e.Schedule(time.Duration(i)*time.Millisecond, "n", func(*Engine) { got = append(got, i) }))
+	}
+	for i := 0; i < 20; i += 2 {
+		e.Cancel(evs[i])
+	}
+	e.Run(0)
+	if len(got) != 10 {
+		t.Fatalf("fired %d events, want 10", len(got))
+	}
+	for _, v := range got {
+		if v%2 == 0 {
+			t.Fatalf("cancelled event %d fired", v)
+		}
+	}
+}
+
+func TestHorizonStopsEarly(t *testing.T) {
+	e := New(1)
+	fired := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(time.Duration(i)*time.Second, "n", func(*Engine) { fired++ })
+	}
+	end := e.Run(5 * time.Second)
+	if end != 5*time.Second {
+		t.Fatalf("end = %v, want 5s", end)
+	}
+	if fired != 5 {
+		t.Fatalf("fired = %d, want 5", fired)
+	}
+}
+
+func TestHorizonAdvancesIdleClock(t *testing.T) {
+	e := New(1)
+	end := e.Run(3 * time.Second)
+	if end != 3*time.Second {
+		t.Fatalf("end = %v, want horizon 3s", end)
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := New(1)
+	fired := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(time.Duration(i)*time.Millisecond, "n", func(en *Engine) {
+			fired++
+			if fired == 3 {
+				en.Stop()
+			}
+		})
+	}
+	e.Run(0)
+	if fired != 3 {
+		t.Fatalf("fired = %d, want 3 after Stop", fired)
+	}
+}
+
+func TestStep(t *testing.T) {
+	e := New(1)
+	count := 0
+	e.Schedule(time.Millisecond, "a", func(*Engine) { count++ })
+	e.Schedule(2*time.Millisecond, "b", func(*Engine) { count++ })
+	if !e.Step() || count != 1 {
+		t.Fatalf("after first step count = %d", count)
+	}
+	if !e.Step() || count != 2 {
+		t.Fatalf("after second step count = %d", count)
+	}
+	if e.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+func TestTicker(t *testing.T) {
+	e := New(1)
+	var ticks []time.Duration
+	e.Ticker(time.Second, "tick", func(en *Engine) bool {
+		ticks = append(ticks, en.Now())
+		return len(ticks) < 4
+	})
+	e.Run(0)
+	if len(ticks) != 4 {
+		t.Fatalf("ticks = %d, want 4", len(ticks))
+	}
+	for i, at := range ticks {
+		want := time.Duration(i+1) * time.Second
+		if at != want {
+			t.Fatalf("tick %d at %v, want %v", i, at, want)
+		}
+	}
+}
+
+func TestTickerPanicsOnNonPositivePeriod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Ticker(0, "bad", func(*Engine) bool { return false })
+}
+
+func TestSchedulePanicsOnNilFn(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Schedule(0, "bad", nil)
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []time.Duration {
+		e := New(seed)
+		var fires []time.Duration
+		var spawn func(en *Engine)
+		n := 0
+		spawn = func(en *Engine) {
+			fires = append(fires, en.Now())
+			n++
+			if n < 200 {
+				d := time.Duration(en.Rand().Intn(1000)) * time.Microsecond
+				en.After(d, "spawn", spawn)
+			}
+		}
+		e.After(0, "seed", spawn)
+		e.Run(0)
+		return fires
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("different lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: events always fire in nondecreasing timestamp order, regardless
+// of schedule order.
+func TestPropertyFiringOrderSorted(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		e := New(7)
+		var fired []time.Duration
+		for _, o := range offsets {
+			at := time.Duration(o) * time.Microsecond
+			e.Schedule(at, "p", func(en *Engine) { fired = append(fired, en.Now()) })
+		}
+		e.Run(0)
+		if len(fired) != len(offsets) {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with random cancellations, exactly the non-cancelled events fire.
+func TestPropertyCancelSubset(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		e := New(3)
+		rng := rand.New(rand.NewSource(seed))
+		firedSet := map[int]bool{}
+		var evs []*Event
+		for i := 0; i < int(n); i++ {
+			i := i
+			at := time.Duration(rng.Intn(100)) * time.Millisecond
+			evs = append(evs, e.Schedule(at, "p", func(*Engine) { firedSet[i] = true }))
+		}
+		cancelled := map[int]bool{}
+		for i := range evs {
+			if rng.Intn(2) == 0 {
+				e.Cancel(evs[i])
+				cancelled[i] = true
+			}
+		}
+		e.Run(0)
+		for i := range evs {
+			if cancelled[i] == firedSet[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWallClockMonotonic(t *testing.T) {
+	c := NewWallClock()
+	a := c.Now()
+	b := c.Now()
+	if b < a {
+		t.Fatalf("wall clock went backwards: %v then %v", a, b)
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := New(1)
+		n := 0
+		var next func(*Engine)
+		next = func(en *Engine) {
+			n++
+			if n < 1000 {
+				en.After(time.Microsecond, "b", next)
+			}
+		}
+		e.After(0, "b", next)
+		e.Run(0)
+	}
+}

@@ -1,0 +1,262 @@
+package simgpu
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"pard/internal/pipeline"
+	"pard/internal/profile"
+	"pard/internal/trace"
+)
+
+// ScalingConfig controls the per-module resource scaling engine.
+type ScalingConfig struct {
+	// Enabled turns autoscaling on. When off, worker counts stay at their
+	// initial provisioning (the Fig. 14a stress-test setup).
+	Enabled bool
+	// Period is how often desired worker counts are re-evaluated.
+	Period time.Duration
+	// ColdStart is the model cold-start delay before a new worker serves
+	// (§2: "resources cannot scale up instantly due to model cold starts").
+	ColdStart time.Duration
+	// Headroom multiplies the measured rate when computing desired workers.
+	Headroom float64
+	// MaxWorkers caps workers per module (cluster capacity).
+	MaxWorkers int
+	// MinWorkers floors workers per module.
+	MinWorkers int
+	// TotalGPUs, when positive, bounds the sum of workers across all
+	// modules (the paper's 64-GPU cluster constraint). When the aggregate
+	// demand exceeds it, capacity is granted proportionally to demand.
+	TotalGPUs int
+}
+
+// DefaultScaling returns the scaling configuration used by the experiments.
+func DefaultScaling() ScalingConfig {
+	return ScalingConfig{
+		Enabled:    true,
+		Period:     3 * time.Second,
+		ColdStart:  10 * time.Second,
+		Headroom:   1.2,
+		MaxWorkers: 4,
+		MinWorkers: 1,
+	}
+}
+
+// ProbeConfig enables optional high-volume recordings.
+type ProbeConfig struct {
+	// QueueDelay records each module's average queueing delay per sync tick
+	// (Fig. 12c).
+	QueueDelay bool
+	// LoadFactor records module 0's load factor μ and priority mode per sync
+	// tick (Fig. 13).
+	LoadFactor bool
+	// Budget records per-module consumed latency budget of completed
+	// requests over time (Fig. 12a) and remaining budgets at module arrival
+	// (Fig. 12d).
+	Budget bool
+	// Decomposition records per-request ΣQ/ΣW/ΣD samples (Fig. 12b) and
+	// per-module batch-wait samples (Fig. 6).
+	Decomposition bool
+	// SampleEvery subsamples per-request probes (1 = every request).
+	SampleEvery int
+}
+
+// Config fully describes one simulation run.
+type Config struct {
+	Spec *pipeline.Spec
+	Lib  *profile.Library
+	// PolicyName selects the drop policy (see policy.Names()).
+	PolicyName string
+	Trace      *trace.Trace
+	Seed       int64
+
+	// BatchFrac sets the SLO share available for one pass of pure execution
+	// when choosing target batch sizes: the per-module execution budget is
+	// SLO·BatchFrac·d₁(k)/Σd₁. Default 0.5 (the paper-like regime where one execution pass consumes half the SLO).
+	BatchFrac float64
+	// SyncPeriod is the state-synchronization interval (default 1 s, §5.4).
+	SyncPeriod time.Duration
+	// QueueWindow is the sliding window for recent queueing delay
+	// (default 5 s, §4.2 footnote 4).
+	QueueWindow time.Duration
+	// WaitReservoir is the per-module batch-wait sample reservoir size.
+	WaitReservoir int
+	// NetDelay is the per-hop transfer delay between modules.
+	NetDelay time.Duration
+	// JitterPct overrides per-model execution jitter when >= 0.
+	JitterPct float64
+	// Scaling configures the resource scaling engine.
+	Scaling ScalingConfig
+	// FixedWorkers, when non-nil, pins per-module worker counts and
+	// disables scaling (stress tests).
+	FixedWorkers []int
+	// Probes selects optional recordings.
+	Probes ProbeConfig
+	// Failures injects worker failures (§2: "unpredictable events such as
+	// workload bursts or machine failure").
+	Failures []Failure
+	// Lambda overrides the PARD estimator quantile when > 0 (Fig. 14c).
+	Lambda float64
+	// EstimatorSamples overrides the Monte-Carlo sample count when > 0.
+	EstimatorSamples int
+	// PriorityWindow overrides the priority smoothing window when > 0
+	// (Fig. 14d).
+	PriorityWindow time.Duration
+}
+
+func (c *Config) withDefaults() (Config, error) {
+	out := *c
+	if out.Spec == nil {
+		return out, fmt.Errorf("simgpu: config needs a pipeline spec")
+	}
+	if err := out.Spec.Validate(); err != nil {
+		return out, err
+	}
+	if out.Lib == nil {
+		out.Lib = profile.DefaultLibrary()
+	}
+	if out.PolicyName == "" {
+		out.PolicyName = "pard"
+	}
+	if out.Trace == nil || out.Trace.Len() == 0 {
+		return out, fmt.Errorf("simgpu: config needs a non-empty trace")
+	}
+	if out.BatchFrac <= 0 {
+		out.BatchFrac = 0.5
+	}
+	if out.SyncPeriod <= 0 {
+		out.SyncPeriod = time.Second
+	}
+	if out.QueueWindow <= 0 {
+		out.QueueWindow = 5 * time.Second
+	}
+	if out.WaitReservoir <= 0 {
+		out.WaitReservoir = 512
+	}
+	if out.NetDelay < 0 {
+		return out, fmt.Errorf("simgpu: negative net delay %v", out.NetDelay)
+	}
+	if out.NetDelay == 0 {
+		out.NetDelay = time.Millisecond
+	}
+	if out.JitterPct == 0 {
+		out.JitterPct = 0.05
+	}
+	if out.JitterPct < 0 {
+		out.JitterPct = 0
+	}
+	if out.Scaling == (ScalingConfig{}) {
+		out.Scaling = DefaultScaling()
+	}
+	if out.Probes.SampleEvery <= 0 {
+		out.Probes.SampleEvery = 1
+	}
+	for i, f := range out.Failures {
+		if f.Module < 0 || f.Module >= out.Spec.N() {
+			return out, fmt.Errorf("simgpu: failure %d: module %d out of range", i, f.Module)
+		}
+		if f.At < 0 || f.Count < 1 {
+			return out, fmt.Errorf("simgpu: failure %d: need At >= 0 and Count >= 1", i)
+		}
+	}
+	if out.FixedWorkers != nil {
+		if len(out.FixedWorkers) != out.Spec.N() {
+			return out, fmt.Errorf("simgpu: %d fixed worker counts for %d modules",
+				len(out.FixedWorkers), out.Spec.N())
+		}
+		out.Scaling.Enabled = false
+	}
+	return out, nil
+}
+
+// Failure describes one injected machine failure: at time At, Count workers
+// of module Module crash. Requests queued or executing on a crashed worker
+// at that moment are lost (recorded as drops at that module); replacement
+// capacity arrives only through the scaling engine's cold-start path.
+type Failure struct {
+	At     time.Duration
+	Module int
+	Count  int
+}
+
+// TargetBatches picks each module's target batch size: the largest batch
+// whose profiled duration fits the module's share of the execution budget
+// SLO·frac, distributed proportionally to single-request durations. It
+// returns the batch sizes and their profiled durations.
+func TargetBatches(spec *pipeline.Spec, lib *profile.Library, frac float64) ([]int, []time.Duration, error) {
+	if frac <= 0 || frac > 1 {
+		return nil, nil, fmt.Errorf("simgpu: batch fraction %v outside (0,1]", frac)
+	}
+	n := spec.N()
+	models := make([]profile.Model, n)
+	var d1Sum time.Duration
+	for k := 0; k < n; k++ {
+		m, err := lib.Get(spec.Modules[k].Name)
+		if err != nil {
+			return nil, nil, err
+		}
+		models[k] = m
+		d1Sum += m.Duration(1)
+	}
+	batches := make([]int, n)
+	durs := make([]time.Duration, n)
+	budget := time.Duration(float64(spec.SLO) * frac)
+	for k := 0; k < n; k++ {
+		share := time.Duration(float64(budget) * float64(models[k].Duration(1)) / float64(d1Sum))
+		b := models[k].BestBatch(share)
+		if b < 1 {
+			b = 1
+		}
+		batches[k] = b
+		durs[k] = models[k].Duration(b)
+	}
+	return batches, durs, nil
+}
+
+// ApplyGPUBudget scales per-module worker demands down proportionally when
+// their sum exceeds the cluster budget, flooring each module at min. A
+// budget <= 0 means unlimited.
+func ApplyGPUBudget(desired []int, budget, min int) {
+	if budget <= 0 {
+		return
+	}
+	total := 0
+	for _, d := range desired {
+		total += d
+	}
+	if total <= budget {
+		return
+	}
+	for k := range desired {
+		grant := desired[k] * budget / total
+		if grant < min {
+			grant = min
+		}
+		desired[k] = grant
+	}
+}
+
+// ProvisionWorkers computes per-module worker counts able to sustain the
+// given request rate with the target batch sizes, clamped to [min, max].
+func ProvisionWorkers(spec *pipeline.Spec, lib *profile.Library, batches []int, rate, headroom float64, min, max int) ([]int, error) {
+	n := spec.N()
+	out := make([]int, n)
+	for k := 0; k < n; k++ {
+		m, err := lib.Get(spec.Modules[k].Name)
+		if err != nil {
+			return nil, err
+		}
+		tp := m.Throughput(batches[k])
+		w := int(math.Ceil(rate * headroom / tp))
+		if w < min {
+			w = min
+		}
+		if w > max {
+			w = max
+		}
+		out[k] = w
+	}
+	return out, nil
+}

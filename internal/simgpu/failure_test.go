@@ -1,0 +1,146 @@
+package simgpu
+
+import (
+	"testing"
+	"time"
+
+	"pard/internal/pipeline"
+)
+
+func TestFailureValidation(t *testing.T) {
+	tr := steadyTrace(50, 5*time.Second, 1)
+	bad := []Failure{
+		{At: -time.Second, Module: 0, Count: 1},
+		{At: 0, Module: 9, Count: 1},
+		{At: 0, Module: 0, Count: 0},
+	}
+	for i, f := range bad {
+		cfg := Config{Spec: pipeline.LV(), PolicyName: "pard", Trace: tr, Failures: []Failure{f}}
+		if _, err := Run(cfg); err == nil {
+			t.Fatalf("bad failure %d accepted", i)
+		}
+	}
+}
+
+func TestFailureDropsInFlightWork(t *testing.T) {
+	tr := steadyTrace(300, 30*time.Second, 5)
+	noFail := runLV(t, "pard", tr, nil)
+	failed := runLV(t, "pard", tr, func(c *Config) {
+		// Kill 3 of module 2's workers mid-run.
+		c.Failures = []Failure{{At: 10 * time.Second, Module: 2, Count: 3}}
+	})
+	// Conservation still holds.
+	s := failed.Summary
+	if s.Good+s.Late+s.Dropped != s.Total {
+		t.Fatalf("conservation broken after failure: %+v", s)
+	}
+	// The failure costs goodput relative to the clean run.
+	if failed.Summary.Good >= noFail.Summary.Good {
+		t.Fatalf("failure had no effect: %d vs %d good", failed.Summary.Good, noFail.Summary.Good)
+	}
+	// Some drops are attributed to the failed module.
+	if failed.Summary.PerModuleDropPct[2] <= 0 {
+		t.Fatalf("no drops at the failed module: %v", failed.Summary.PerModuleDropPct)
+	}
+}
+
+func TestFailureRecoveryViaScaling(t *testing.T) {
+	// With scaling enabled, replacements cold-start after a failure; the
+	// second half of the run recovers.
+	tr := steadyTrace(300, 60*time.Second, 7)
+	res := runLV(t, "pard", tr, func(c *Config) {
+		c.Failures = []Failure{{At: 20 * time.Second, Module: 0, Count: 2}}
+	})
+	// Goodput in the last 20s should be healthy again.
+	tail := 0
+	tailGood := 0
+	for _, rec := range res.Collector.Records() {
+		if rec.Send >= 40*time.Second {
+			tail++
+			if rec.Outcome == 0 { // metrics.Good
+				tailGood++
+			}
+		}
+	}
+	if tail == 0 {
+		t.Fatal("no tail requests")
+	}
+	if frac := float64(tailGood) / float64(tail); frac < 0.8 {
+		t.Fatalf("no recovery after failure: tail goodput %.2f", frac)
+	}
+}
+
+func TestFailureWithoutScalingDegradesMore(t *testing.T) {
+	tr := steadyTrace(400, 40*time.Second, 9)
+	fail := []Failure{{At: 10 * time.Second, Module: 0, Count: 2}}
+	fixed := runLV(t, "pard", tr, func(c *Config) {
+		c.FixedWorkers = []int{4, 4, 4, 4, 4}
+		c.Failures = fail
+	})
+	scaled := runLV(t, "pard", tr, func(c *Config) {
+		c.Failures = fail
+	})
+	if fixed.Summary.Good >= scaled.Summary.Good {
+		t.Fatalf("fixed cluster should suffer more from failure: fixed %d vs scaled %d good",
+			fixed.Summary.Good, scaled.Summary.Good)
+	}
+}
+
+func TestTotalGPUBudgetCapsScaling(t *testing.T) {
+	tr := steadyTrace(800, 30*time.Second, 11)
+	capped := runLV(t, "pard", tr, func(c *Config) {
+		sc := DefaultScaling()
+		sc.TotalGPUs = 10 // 5 modules × min 1 leaves little slack
+		c.Scaling = sc
+	})
+	total := 0
+	for _, w := range capped.PeakWorkers {
+		total += w
+	}
+	if total > 10+5 { // proportional grant floors at MinWorkers per module
+		t.Fatalf("cluster budget exceeded: peak workers %v", capped.PeakWorkers)
+	}
+	uncapped := runLV(t, "pard", tr, nil)
+	utotal := 0
+	for _, w := range uncapped.PeakWorkers {
+		utotal += w
+	}
+	if utotal <= total {
+		t.Fatalf("budget had no effect: capped %d vs uncapped %d", total, utotal)
+	}
+	// The capped cluster serves less.
+	if capped.Summary.Good >= uncapped.Summary.Good {
+		t.Fatalf("capped cluster should serve less: %d vs %d",
+			capped.Summary.Good, uncapped.Summary.Good)
+	}
+}
+
+func TestFailureDeterminism(t *testing.T) {
+	tr := steadyTrace(300, 20*time.Second, 13)
+	mut := func(c *Config) {
+		c.Failures = []Failure{{At: 5 * time.Second, Module: 1, Count: 2}}
+	}
+	a := runLV(t, "pard", tr, mut)
+	b := runLV(t, "pard", tr, mut)
+	if a.Summary.Good != b.Summary.Good || a.Summary.Dropped != b.Summary.Dropped {
+		t.Fatalf("failure runs diverged: %+v vs %+v", a.Summary, b.Summary)
+	}
+}
+
+func TestCrashMoreThanActiveWorkers(t *testing.T) {
+	tr := steadyTrace(100, 10*time.Second, 15)
+	res := runLV(t, "pard", tr, func(c *Config) {
+		c.FixedWorkers = []int{1, 1, 1, 1, 1}
+		c.Failures = []Failure{{At: 2 * time.Second, Module: 0, Count: 99}}
+	})
+	// All of module 0's capacity died and never returns (scaling disabled):
+	// every request arriving after the crash is eventually dropped, and the
+	// run still terminates cleanly.
+	s := res.Summary
+	if s.Good+s.Late+s.Dropped != s.Total {
+		t.Fatalf("conservation broken: %+v", s)
+	}
+	if s.Dropped == 0 {
+		t.Fatal("no drops after total module failure")
+	}
+}

@@ -1,0 +1,64 @@
+// Package simgpu is the serving substrate: a deterministic discrete-event
+// simulation of a GPU inference cluster serving a pipeline (or DAG) of
+// batched DNN modules under a drop policy.
+//
+// It reproduces the architecture of Fig. 4 — a dispatcher and a pool of
+// workers per module, per-worker request queues (FIFO or DEPQ as the policy
+// dictates), batch assembly that collects the next batch as soon as the
+// previous one starts executing (Fig. 3b), a per-module controller that
+// publishes runtime state each sync tick, and a scaling engine with cold
+// starts. Model execution is simulated by profiled durations (see DESIGN.md
+// substitutions): every quantity the dropping policies consume (queueing
+// delay, batch wait, execution duration) is produced by the same lifecycle
+// as the paper's testbed.
+package simgpu
+
+import (
+	"time"
+)
+
+// Request is one client request traversing the pipeline. For DAG pipelines a
+// single Request is shared by all branch copies; per-branch state lives in
+// the queue entries.
+type Request struct {
+	ID       uint64
+	Send     time.Duration // t_s
+	Deadline time.Duration // Send + SLO
+
+	// Accumulated GPU time charged to this request (d(b)/b per batch).
+	GPU time.Duration
+
+	// Aggregate latency decomposition across all modules the request
+	// executed in (Fig. 12b).
+	SumQ, SumW, SumD time.Duration
+
+	// Drop state. A request dropped in any branch is globally dropped.
+	Dropped    bool
+	DropModule int
+	DropAt     time.Duration
+
+	// Completion state.
+	Finished bool
+	DoneAt   time.Duration
+
+	// ExpectedMerge is how many branch copies the merge module must collect
+	// (1 for exclusive fan-out, fan-out degree otherwise). Zero for chains.
+	ExpectedMerge int
+	// mergeArrived counts branch copies that reached the merge module.
+	mergeArrived int
+	// mergeMaxArrive tracks the latest branch arrival (merge semantics:
+	// end-to-end latency is the max across branches, §4.2).
+	mergeMaxArrive time.Duration
+}
+
+// entry is a request instance queued at a specific module (a branch copy in
+// DAG pipelines).
+type entry struct {
+	req *Request
+	// arrive is t_r at this module.
+	arrive time.Duration
+}
+
+// retired reports whether the request needs no further processing on this
+// path (already dropped elsewhere).
+func (e entry) retired() bool { return e.req.Dropped || e.req.Finished }

@@ -1,0 +1,387 @@
+package simgpu
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"pard/internal/core"
+	"pard/internal/metrics"
+	"pard/internal/pipeline"
+	"pard/internal/policy"
+	"pard/internal/sim"
+)
+
+// Result is everything one simulation run produces.
+type Result struct {
+	// Collector holds the per-request outcomes and derived metrics.
+	Collector *metrics.Collector
+	// Summary is Collector.Summary(), precomputed.
+	Summary metrics.Summary
+	// PolicyName echoes the configured policy.
+	PolicyName string
+	// Workload is "<app>-<trace>".
+	Workload string
+
+	// TargetBatches and ProfiledDurs are the offline-profiling outputs used.
+	TargetBatches []int
+	ProfiledDurs  []time.Duration
+	// PeakWorkers is the maximum concurrently active workers per module.
+	PeakWorkers []int
+
+	// Probe outputs (nil unless the corresponding probe was enabled).
+	QueueDelay       []*metrics.Series // per module, ms
+	LoadFactor       *metrics.Series   // module LoadModule's μ
+	ModeSeries       *metrics.Series   // 0=LBF, 1=HBF
+	Consumed         []*metrics.Series // per module consumed budget, ms
+	Remaining        []*metrics.Series // per module remaining budget at arrival, ms
+	WaitSamples      [][]float64       // per module batch-wait samples, seconds
+	SumQ, SumW, SumD []float64         // per completed request, seconds
+
+	// PrioritySwitches counts HBF↔LBF transitions (Fig. 13).
+	PrioritySwitches int
+	// SimEvents is the number of engine events dispatched.
+	SimEvents uint64
+}
+
+// Runner executes one configuration.
+type Runner struct {
+	cfg Config
+	eng *sim.Engine
+	pol policy.Policy
+
+	modules []*module
+	board   *core.Board
+
+	// Independent deterministic random streams.
+	execRng *rand.Rand // execution jitter
+	statRng *rand.Rand // reservoirs
+	pathRng *rand.Rand // exclusive DAG branch choice
+	jitter  float64
+
+	requests    []*Request
+	outstanding int
+	traceDone   bool
+
+	sumQ, sumW, sumD []float64
+	sampleCounter    int
+}
+
+// New validates the configuration and assembles the cluster.
+func New(cfg Config) (*Runner, error) {
+	full, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	batches, durs, err := TargetBatches(full.Spec, full.Lib, full.BatchFrac)
+	if err != nil {
+		return nil, err
+	}
+
+	r := &Runner{
+		cfg:     full,
+		eng:     sim.New(full.Seed),
+		board:   core.NewBoard(full.Spec.N()),
+		execRng: rand.New(rand.NewSource(full.Seed + 1)),
+		statRng: rand.New(rand.NewSource(full.Seed + 2)),
+		pathRng: rand.New(rand.NewSource(full.Seed + 3)),
+		jitter:  full.JitterPct,
+	}
+
+	// Build the policy.
+	estCfg := core.DefaultEstimatorConfig()
+	if full.Lambda > 0 {
+		estCfg.Lambda = full.Lambda
+	}
+	if full.EstimatorSamples > 0 {
+		estCfg.Samples = full.EstimatorSamples
+	}
+	priCfg := core.DefaultPriorityConfig()
+	if full.PriorityWindow > 0 {
+		priCfg.Window = full.PriorityWindow
+	}
+	pol, err := policy.New(full.PolicyName, policy.Setup{
+		Spec:   full.Spec,
+		Durs:   durs,
+		Rng:    rand.New(rand.NewSource(full.Seed + 4)),
+		EstCfg: &estCfg,
+		PriCfg: &priCfg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.pol = pol
+
+	// Provision workers: fixed counts, or sized for the early trace rate and
+	// left to the scaling engine.
+	workers := full.FixedWorkers
+	if workers == nil {
+		warmup := full.Trace.Slice(0, 10*time.Second)
+		rate := warmup.MeanRate()
+		if rate <= 0 {
+			rate = full.Trace.MeanRate()
+		}
+		workers, err = ProvisionWorkers(full.Spec, full.Lib, batches, rate,
+			full.Scaling.Headroom, full.Scaling.MinWorkers, full.Scaling.MaxWorkers)
+		if err != nil {
+			return nil, err
+		}
+		ApplyGPUBudget(workers, full.Scaling.TotalGPUs, full.Scaling.MinWorkers)
+	}
+
+	for k := 0; k < full.Spec.N(); k++ {
+		model, err := full.Lib.Get(full.Spec.Modules[k].Name)
+		if err != nil {
+			return nil, err
+		}
+		m := newModule(r, k, full.Spec.Modules[k], model, batches[k], durs[k], workers[k])
+		r.modules = append(r.modules, m)
+	}
+	return r, nil
+}
+
+// scheduleBatchEnd registers the batch-completion event.
+func (r *Runner) scheduleBatchEnd(w *worker, at time.Duration) {
+	r.eng.Schedule(at, "batch-end", func(e *sim.Engine) { w.batchEnd(e.Now()) })
+}
+
+// scheduleWarmup wakes a cold-started worker.
+func (r *Runner) scheduleWarmup(w *worker, at time.Duration) {
+	r.eng.Schedule(at, "warmup", func(e *sim.Engine) { w.pump(e.Now()) })
+}
+
+// drop marks a request dropped at module k.
+func (r *Runner) drop(req *Request, k int, now time.Duration) {
+	if req.Dropped || req.Finished {
+		return
+	}
+	req.Dropped = true
+	req.DropModule = k
+	req.DropAt = now
+	r.modules[k].drops++
+	r.outstanding--
+}
+
+// forward routes a request leaving module k: split to successors, merge at
+// fan-in, or complete at the sink.
+func (r *Runner) forward(req *Request, k int, now time.Duration) {
+	mod := r.cfg.Spec.Modules[k]
+	if len(mod.Subs) == 0 {
+		r.complete(req, now)
+		return
+	}
+	subs := mod.Subs
+	if mod.Exclusive {
+		subs = []int{mod.Subs[r.pickBranch(mod)]}
+		req.ExpectedMerge = 1
+	} else if len(subs) > 1 {
+		req.ExpectedMerge = len(subs)
+	}
+	arrive := now + r.cfg.NetDelay
+	for _, sub := range subs {
+		target := r.modules[sub]
+		r.eng.Schedule(arrive, "hop", func(e *sim.Engine) { target.receive(req, e.Now()) })
+	}
+}
+
+// pickBranch selects one successor index for an exclusive fan-out.
+func (r *Runner) pickBranch(mod pipeline.Module) int {
+	if len(mod.BranchProb) == 0 {
+		return r.pathRng.Intn(len(mod.Subs))
+	}
+	x := r.pathRng.Float64()
+	acc := 0.0
+	for i, p := range mod.BranchProb {
+		acc += p
+		if x < acc {
+			return i
+		}
+	}
+	return len(mod.Subs) - 1
+}
+
+// complete finalizes a request that finished the sink module.
+func (r *Runner) complete(req *Request, now time.Duration) {
+	if req.Dropped || req.Finished {
+		return
+	}
+	req.Finished = true
+	req.DoneAt = now
+	r.outstanding--
+	if r.cfg.Probes.Decomposition {
+		r.sampleCounter++
+		if r.sampleCounter%r.cfg.Probes.SampleEvery == 0 {
+			r.sumQ = append(r.sumQ, req.SumQ.Seconds())
+			r.sumW = append(r.sumW, req.SumW.Seconds())
+			r.sumD = append(r.sumD, req.SumD.Seconds())
+		}
+	}
+}
+
+// inject schedules all trace arrivals as client sends into the source
+// module.
+func (r *Runner) inject() {
+	src := r.modules[r.cfg.Spec.Source()]
+	slo := r.cfg.Spec.SLO
+	net := r.cfg.NetDelay
+	r.requests = make([]*Request, 0, r.cfg.Trace.Len())
+	for i, at := range r.cfg.Trace.Arrivals {
+		req := &Request{
+			ID:         uint64(i),
+			Send:       at,
+			Deadline:   at + slo,
+			DropModule: -1,
+		}
+		r.requests = append(r.requests, req)
+		r.outstanding++
+		r.eng.Schedule(at+net, "arrive", func(e *sim.Engine) { src.receive(req, e.Now()) })
+	}
+}
+
+// drained reports whether the run can stop ticking.
+func (r *Runner) drained(now time.Duration) bool {
+	return r.outstanding <= 0 && now >= r.cfg.Trace.Duration
+}
+
+// Run executes the simulation to completion and returns the results.
+func (r *Runner) Run() (*Result, error) {
+	if r.requests != nil {
+		return nil, fmt.Errorf("simgpu: runner already ran")
+	}
+	r.inject()
+
+	// State synchronization tick (§4.1 steps ①-③).
+	r.eng.Ticker(r.cfg.SyncPeriod, "sync", func(e *sim.Engine) bool {
+		now := e.Now()
+		for _, m := range r.modules {
+			m.publish(now, r.board)
+		}
+		r.pol.OnSync(now, r.board)
+		for _, m := range r.modules {
+			m.probePriority(now, r.board)
+		}
+		return !r.drained(now)
+	})
+
+	// Scaling engine tick. With a TotalGPUs budget, per-module demand is
+	// granted proportionally when the cluster is oversubscribed.
+	if r.cfg.Scaling.Enabled {
+		r.eng.Ticker(r.cfg.Scaling.Period, "scale", func(e *sim.Engine) bool {
+			now := e.Now()
+			desired := make([]int, len(r.modules))
+			for k, m := range r.modules {
+				desired[k] = m.desiredWorkers(now)
+			}
+			ApplyGPUBudget(desired, r.cfg.Scaling.TotalGPUs, r.cfg.Scaling.MinWorkers)
+			for k, m := range r.modules {
+				m.applyScale(now, desired[k])
+			}
+			return !r.drained(now)
+		})
+	}
+
+	// Injected machine failures (§2).
+	for _, f := range r.cfg.Failures {
+		f := f
+		r.eng.Schedule(f.At, "failure", func(e *sim.Engine) {
+			r.modules[f.Module].crash(e.Now(), f.Count)
+		})
+	}
+
+	r.eng.Run(0)
+
+	return r.buildResult(), nil
+}
+
+func (r *Runner) buildResult() *Result {
+	col := metrics.NewCollector(r.cfg.Spec.SLO, r.cfg.Spec.N())
+	for _, req := range r.requests {
+		rec := metrics.Record{
+			Send:       req.Send,
+			GPUTime:    req.GPU,
+			DropModule: -1,
+		}
+		switch {
+		case req.Finished:
+			rec.Done = req.DoneAt
+			if req.DoneAt-req.Send <= r.cfg.Spec.SLO {
+				rec.Outcome = metrics.Good
+			} else {
+				rec.Outcome = metrics.Late
+			}
+		case req.Dropped:
+			rec.Done = req.DropAt
+			rec.Outcome = metrics.DroppedOutcome
+			rec.DropModule = req.DropModule
+		default:
+			// Stranded in-flight at drain (should not happen; count against
+			// the policy rather than hiding it).
+			rec.Done = req.Send
+			rec.Outcome = metrics.DroppedOutcome
+		}
+		col.Add(rec)
+	}
+
+	res := &Result{
+		Collector:  col,
+		Summary:    col.Summary(),
+		PolicyName: r.cfg.PolicyName,
+		Workload:   r.cfg.Spec.App + "-" + r.cfg.Trace.Name,
+		SimEvents:  r.eng.Fired(),
+		SumQ:       r.sumQ,
+		SumW:       r.sumW,
+		SumD:       r.sumD,
+	}
+	res.TargetBatches = make([]int, len(r.modules))
+	res.ProfiledDurs = make([]time.Duration, len(r.modules))
+	res.PeakWorkers = make([]int, len(r.modules))
+	for k, m := range r.modules {
+		res.TargetBatches[k] = m.targetBatch
+		res.ProfiledDurs[k] = m.targetDur
+		res.PeakWorkers[k] = m.peakWorkers
+	}
+	if r.cfg.Probes.QueueDelay {
+		for _, m := range r.modules {
+			res.QueueDelay = append(res.QueueDelay, m.queueDelayProbe)
+		}
+	}
+	if r.cfg.Probes.LoadFactor {
+		// Report the source module's controller (the module workload bursts
+		// hit first; Fig. 13 plots a single representative module).
+		src := r.modules[r.cfg.Spec.Source()]
+		res.LoadFactor = src.loadProbe
+		res.ModeSeries = src.modeProbe
+		if pr, ok := r.pol.(interface {
+			Priority(int) *core.PriorityController
+		}); ok {
+			total := 0
+			for k := range r.modules {
+				if pc := pr.Priority(k); pc != nil {
+					total += pc.Switches()
+				}
+			}
+			res.PrioritySwitches = total
+		}
+	}
+	if r.cfg.Probes.Budget {
+		for _, m := range r.modules {
+			res.Consumed = append(res.Consumed, m.budgetProbe)
+			res.Remaining = append(res.Remaining, m.remainProbe)
+		}
+	}
+	if r.cfg.Probes.Decomposition {
+		for _, m := range r.modules {
+			res.WaitSamples = append(res.WaitSamples, append([]float64(nil), m.waitProbe.Values()...))
+		}
+	}
+	return res
+}
+
+// Run is the one-call entry point: build a runner from cfg and execute it.
+func Run(cfg Config) (*Result, error) {
+	r, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return r.Run()
+}

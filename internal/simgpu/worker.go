@@ -1,0 +1,174 @@
+package simgpu
+
+import (
+	"time"
+
+	"pard/internal/depq"
+	"pard/internal/policy"
+)
+
+// batchMember is a request inside a forming or executing batch, with its
+// decision-time measurements.
+type batchMember struct {
+	e  entry
+	tb time.Duration // when placed into the batch (decision time t_b)
+	q  time.Duration // queueing delay Q_k = t_b − t_r
+}
+
+// worker simulates one GPU container serving a module.
+type worker struct {
+	mod *module
+	id  int
+
+	queue depq.Queue[entry]
+
+	forming   []batchMember
+	executing []batchMember
+	busy      bool
+	execStart time.Duration
+	execDur   time.Duration
+	execEnd   time.Duration
+
+	active    bool // dispatcher eligibility
+	dead      bool // crashed (never serves again)
+	coldUntil time.Duration
+}
+
+func newWorker(m *module, id int) *worker {
+	w := &worker{mod: m, id: id, active: true}
+	if m.run.pol.Queue() == policy.KindDEPQ {
+		w.queue = depq.New[entry]()
+	} else {
+		w.queue = depq.NewFIFO[entry]()
+	}
+	return w
+}
+
+// load is the dispatcher's balancing metric.
+func (w *worker) load() int { return w.queue.Len() + len(w.forming) }
+
+// warm reports whether the worker can serve at time now.
+func (w *worker) warm(now time.Duration) bool { return now >= w.coldUntil }
+
+// enqueue adds a request copy and advances the pipeline.
+func (w *worker) enqueue(e entry, now time.Duration) {
+	w.queue.Push(e, int64(e.req.Deadline))
+	w.pump(now)
+}
+
+// pump advances the worker: fills the forming batch and starts execution
+// when the GPU is idle.
+func (w *worker) pump(now time.Duration) {
+	if w.dead || !w.warm(now) {
+		return
+	}
+	if w.busy {
+		w.fill(now, w.execEnd)
+		return
+	}
+	w.fill(now, now)
+	if len(w.forming) > 0 {
+		w.startBatch(now)
+	}
+}
+
+// fill pops queued requests into the forming batch up to the target size,
+// applying the drop policy to each popped request (decision time t_b = now,
+// expected batch start t_e = te). This is the Request Broker step ⑥ of
+// Fig. 4.
+func (w *worker) fill(now, te time.Duration) {
+	m := w.mod
+	for len(w.forming) < m.targetBatch && w.queue.Len() > 0 {
+		var e entry
+		var ok bool
+		if m.run.pol.PopEnd(m.idx) == policy.MaxEnd {
+			e, _, ok = w.queue.PopMax()
+		} else {
+			e, _, ok = w.queue.PopMin()
+		}
+		if !ok {
+			return
+		}
+		if e.retired() {
+			continue // dropped in a parallel branch; discard silently
+		}
+		ctx := policy.DecideCtx{
+			Req: policy.RequestInfo{
+				Send:         e.req.Send,
+				Deadline:     e.req.Deadline,
+				ArriveModule: e.arrive,
+			},
+			Module:        m.idx,
+			Now:           now,
+			ExpectedStart: te,
+			ExecDur:       m.targetDur,
+			SLO:           m.run.cfg.Spec.SLO,
+		}
+		if !m.run.pol.Decide(ctx) {
+			m.run.drop(e.req, m.idx, now)
+			continue
+		}
+		w.forming = append(w.forming, batchMember{e: e, tb: now, q: now - e.arrive})
+	}
+}
+
+// startBatch promotes the forming batch to the GPU and immediately begins
+// collecting the next batch (Fig. 3b: the scheduler "collects the next batch
+// right after the previous one begins execution").
+func (w *worker) startBatch(now time.Duration) {
+	m := w.mod
+	w.executing = w.forming
+	w.forming = nil
+	w.busy = true
+	w.execStart = now
+	w.execDur = m.execDuration(len(w.executing))
+	w.execEnd = now + w.execDur
+
+	// Decision-time stats per member, now that the actual start is known:
+	// W_k = start − t_b.
+	for i := range w.executing {
+		mem := &w.executing[i]
+		m.observe(mem.q, now-mem.tb, w.execDur, now)
+	}
+	m.run.scheduleBatchEnd(w, w.execEnd)
+
+	// Collect the next batch while this one executes.
+	w.fill(now, w.execEnd)
+}
+
+// batchEnd finalizes the executing batch: charges GPU time, forwards
+// survivors downstream, and starts the next batch.
+func (w *worker) batchEnd(now time.Duration) {
+	if w.dead {
+		return // GPU crashed mid-execution; members were dropped at crash time
+	}
+	m := w.mod
+	batch := w.executing
+	w.executing = nil
+	w.busy = false
+
+	n := len(batch)
+	if n > 0 {
+		perReqGPU := w.execDur / time.Duration(n)
+		for i := range batch {
+			mem := &batch[i]
+			r := mem.e.req
+			r.GPU += perReqGPU
+			r.SumQ += mem.q
+			r.SumW += w.execStart - mem.tb
+			r.SumD += w.execDur
+			m.probeBudget(mem.e.arrive, now)
+			if mem.e.retired() {
+				continue // executed alongside, but the request is already dead
+			}
+			m.run.forward(r, m.idx, now)
+		}
+	}
+
+	// Promote the batch that formed during execution, or refill from queue.
+	if len(w.forming) > 0 {
+		w.startBatch(now)
+		return
+	}
+	w.pump(now)
+}

@@ -1,0 +1,266 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Empirical is an empirical distribution over float64 samples supporting
+// CDF evaluation and quantile inversion. Samples are sorted lazily.
+type Empirical struct {
+	samples []float64
+	sorted  bool
+}
+
+// NewEmpirical builds a distribution from a copy of samples.
+func NewEmpirical(samples []float64) *Empirical {
+	cp := append([]float64(nil), samples...)
+	return &Empirical{samples: cp}
+}
+
+// Add appends one sample.
+func (d *Empirical) Add(v float64) {
+	d.samples = append(d.samples, v)
+	d.sorted = false
+}
+
+// Len returns the sample count.
+func (d *Empirical) Len() int { return len(d.samples) }
+
+func (d *Empirical) ensureSorted() {
+	if !d.sorted {
+		sort.Float64s(d.samples)
+		d.sorted = true
+	}
+}
+
+// CDF returns P(X <= x), or 0 for an empty distribution.
+func (d *Empirical) CDF(x float64) float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	d.ensureSorted()
+	i := sort.SearchFloat64s(d.samples, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(d.samples))
+}
+
+// Quantile returns the q-quantile (q in [0,1]) using the nearest-rank
+// definition; q outside [0,1] is clamped. Returns 0 for an empty
+// distribution.
+func (d *Empirical) Quantile(q float64) float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	d.ensureSorted()
+	if q <= 0 {
+		return d.samples[0]
+	}
+	if q >= 1 {
+		return d.samples[len(d.samples)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(d.samples)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return d.samples[idx]
+}
+
+// Mean returns the sample mean, or 0 when empty.
+func (d *Empirical) Mean() float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range d.samples {
+		sum += v
+	}
+	return sum / float64(len(d.samples))
+}
+
+// Std returns the population standard deviation, or 0 when empty.
+func (d *Empirical) Std() float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	m := d.Mean()
+	var ss float64
+	for _, v := range d.samples {
+		dv := v - m
+		ss += dv * dv
+	}
+	return math.Sqrt(ss / float64(len(d.samples)))
+}
+
+// CV returns the coefficient of variation (std/mean), or 0 when the mean
+// is 0.
+func (d *Empirical) CV() float64 {
+	m := d.Mean()
+	if m == 0 {
+		return 0
+	}
+	return d.Std() / m
+}
+
+// Sample draws one value uniformly from the samples.
+func (d *Empirical) Sample(rng *rand.Rand) float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	return d.samples[rng.Intn(len(d.samples))]
+}
+
+// Histogram bins the samples into n equal-width buckets over [min, max] and
+// returns bucket left edges and normalized densities. Used to render the
+// Fig. 6 PDFs.
+func (d *Empirical) Histogram(n int) (edges, density []float64) {
+	if n <= 0 || len(d.samples) == 0 {
+		return nil, nil
+	}
+	d.ensureSorted()
+	lo, hi := d.samples[0], d.samples[len(d.samples)-1]
+	if hi == lo {
+		return []float64{lo}, []float64{1}
+	}
+	width := (hi - lo) / float64(n)
+	edges = make([]float64, n)
+	density = make([]float64, n)
+	for i := range edges {
+		edges[i] = lo + float64(i)*width
+	}
+	for _, v := range d.samples {
+		i := int((v - lo) / width)
+		if i >= n {
+			i = n - 1
+		}
+		density[i]++
+	}
+	total := float64(len(d.samples)) * width
+	for i := range density {
+		density[i] /= total
+	}
+	return edges, density
+}
+
+// Reservoir maintains a fixed-size uniform random sample of a stream
+// (Vitter's algorithm R). PARD's modules use it to keep batch-wait samples
+// bounded while staying representative.
+type Reservoir struct {
+	cap  int
+	seen int
+	buf  []float64
+	rng  *rand.Rand
+}
+
+// NewReservoir returns a reservoir holding at most capacity samples.
+func NewReservoir(capacity int, rng *rand.Rand) *Reservoir {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("stats: reservoir capacity must be positive, got %d", capacity))
+	}
+	return &Reservoir{cap: capacity, rng: rng}
+}
+
+// Add offers one stream value to the reservoir.
+func (r *Reservoir) Add(v float64) {
+	r.seen++
+	if len(r.buf) < r.cap {
+		r.buf = append(r.buf, v)
+		return
+	}
+	if j := r.rng.Intn(r.seen); j < r.cap {
+		r.buf[j] = v
+	}
+}
+
+// Len returns the number of held samples.
+func (r *Reservoir) Len() int { return len(r.buf) }
+
+// Seen returns how many values were offered in total.
+func (r *Reservoir) Seen() int { return r.seen }
+
+// Values returns the current sample set (not a copy; callers must not
+// mutate).
+func (r *Reservoir) Values() []float64 { return r.buf }
+
+// ConvolveQuantile estimates the q-quantile of the sum of independent draws,
+// one from each source distribution, by Monte-Carlo with m samples. This is
+// PARD's F^{-1}_{k+1→N}(λ) estimator for aggregated batch wait: each source
+// is a module's observed batch-wait sample set. Empty sources contribute 0.
+func ConvolveQuantile(sources [][]float64, q float64, m int, rng *rand.Rand) float64 {
+	if m <= 0 || len(sources) == 0 {
+		return 0
+	}
+	sums := make([]float64, m)
+	for _, src := range sources {
+		if len(src) == 0 {
+			continue
+		}
+		for i := range sums {
+			sums[i] += src[rng.Intn(len(src))]
+		}
+	}
+	sort.Float64s(sums)
+	if q <= 0 {
+		return sums[0]
+	}
+	if q >= 1 {
+		return sums[m-1]
+	}
+	idx := int(math.Ceil(q*float64(m))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return sums[idx]
+}
+
+// ConvolveSamples draws m Monte-Carlo samples of the sum of one draw per
+// source; used to build full aggregated distributions (Fig. 6).
+func ConvolveSamples(sources [][]float64, m int, rng *rand.Rand) []float64 {
+	sums := make([]float64, m)
+	for _, src := range sources {
+		if len(src) == 0 {
+			continue
+		}
+		for i := range sums {
+			sums[i] += src[rng.Intn(len(src))]
+		}
+	}
+	return sums
+}
+
+// MeanStd returns the mean and population standard deviation of xs.
+func MeanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, v := range xs {
+		mean += v
+	}
+	mean /= float64(len(xs))
+	var ss float64
+	for _, v := range xs {
+		d := v - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss / float64(len(xs)))
+}
+
+// CoefficientOfVariation returns std/mean of xs, or 0 for mean 0.
+func CoefficientOfVariation(xs []float64) float64 {
+	m, s := MeanStd(xs)
+	if m == 0 {
+		return 0
+	}
+	return s / m
+}
+
+// Percentiles evaluates the given quantiles (each in [0,1]) over xs.
+func Percentiles(xs []float64, qs ...float64) []float64 {
+	d := NewEmpirical(xs)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = d.Quantile(q)
+	}
+	return out
+}

@@ -1,0 +1,382 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSlidingWindowEviction(t *testing.T) {
+	w := NewSlidingWindow(5 * time.Second)
+	for i := 0; i < 10; i++ {
+		w.Add(time.Duration(i)*time.Second, float64(i))
+	}
+	// At t=9s the window covers (4s, 9s]: samples 5..9 plus the boundary
+	// sample at 4s (cut is strictly-less eviction).
+	if got := w.Len(); got != 6 {
+		t.Fatalf("Len = %d, want 6", got)
+	}
+	m, ok := w.UnweightedMean(9 * time.Second)
+	if !ok || m != 6.5 {
+		t.Fatalf("UnweightedMean = %v ok=%v, want 6.5", m, ok)
+	}
+}
+
+func TestSlidingWindowLinearWeighting(t *testing.T) {
+	w := NewSlidingWindow(10 * time.Second)
+	w.Add(0, 100)             // age 10s at t=10 → weight 0
+	w.Add(5*time.Second, 50)  // age 5 → weight 0.5
+	w.Add(10*time.Second, 10) // age 0 → weight 1
+	m, ok := w.Mean(10 * time.Second)
+	if !ok {
+		t.Fatal("mean not available")
+	}
+	want := (0.5*50 + 1*10) / 1.5
+	if math.Abs(m-want) > 1e-9 {
+		t.Fatalf("weighted mean = %v, want %v", m, want)
+	}
+}
+
+func TestSlidingWindowEmpty(t *testing.T) {
+	w := NewSlidingWindow(time.Second)
+	if _, ok := w.Mean(0); ok {
+		t.Fatal("empty window reported a mean")
+	}
+	if _, ok := w.UnweightedMean(0); ok {
+		t.Fatal("empty window reported an unweighted mean")
+	}
+	if w.Sum(0) != 0 {
+		t.Fatal("empty window sum != 0")
+	}
+}
+
+func TestSlidingWindowOutOfOrderClamped(t *testing.T) {
+	w := NewSlidingWindow(time.Second)
+	w.Add(5*time.Second, 1)
+	w.Add(4*time.Second, 2) // clamped forward to 5s
+	if w.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", w.Len())
+	}
+}
+
+func TestSlidingWindowCompaction(t *testing.T) {
+	w := NewSlidingWindow(time.Millisecond)
+	for i := 0; i < 10000; i++ {
+		w.Add(time.Duration(i)*time.Millisecond, 1)
+	}
+	if w.Len() != 2 { // boundary sample + current
+		t.Fatalf("Len = %d, want 2", w.Len())
+	}
+	if len(w.samples) > 4096 {
+		t.Fatalf("window did not compact: %d backing samples", len(w.samples))
+	}
+}
+
+func TestSlidingWindowPanicsOnBadSpan(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSlidingWindow(0)
+}
+
+func TestRateWindow(t *testing.T) {
+	r := NewRateWindow(time.Second)
+	for i := 0; i < 100; i++ {
+		r.Observe(time.Duration(i) * 10 * time.Millisecond)
+	}
+	// At t=0.99s all 100 observations are within 1s.
+	if got := r.Rate(990 * time.Millisecond); math.Abs(got-100) > 1e-9 {
+		t.Fatalf("rate = %v, want 100", got)
+	}
+	// 2 seconds later everything expired.
+	if got := r.Count(3 * time.Second); got != 0 {
+		t.Fatalf("count = %d, want 0", got)
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := NewEWMA(0.5)
+	if _, ok := e.Value(); ok {
+		t.Fatal("uninitialized EWMA reported a value")
+	}
+	e.Add(10)
+	e.Add(20)
+	v, ok := e.Value()
+	if !ok || v != 15 {
+		t.Fatalf("EWMA = %v, want 15", v)
+	}
+}
+
+func TestEWMAPanicsOnBadAlpha(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewEWMA(0)
+}
+
+func TestEmpiricalQuantileCDF(t *testing.T) {
+	d := NewEmpirical([]float64{4, 1, 3, 2, 5})
+	if got := d.Quantile(0); got != 1 {
+		t.Fatalf("q0 = %v", got)
+	}
+	if got := d.Quantile(1); got != 5 {
+		t.Fatalf("q1 = %v", got)
+	}
+	if got := d.Quantile(0.5); got != 3 {
+		t.Fatalf("median = %v, want 3", got)
+	}
+	if got := d.CDF(3); got != 0.6 {
+		t.Fatalf("CDF(3) = %v, want 0.6", got)
+	}
+	if got := d.CDF(0.5); got != 0 {
+		t.Fatalf("CDF(0.5) = %v, want 0", got)
+	}
+	if got := d.CDF(10); got != 1 {
+		t.Fatalf("CDF(10) = %v, want 1", got)
+	}
+}
+
+func TestEmpiricalEmpty(t *testing.T) {
+	d := NewEmpirical(nil)
+	if d.Quantile(0.5) != 0 || d.CDF(1) != 0 || d.Mean() != 0 || d.Std() != 0 || d.CV() != 0 {
+		t.Fatal("empty distribution should return zeros")
+	}
+}
+
+func TestEmpiricalMoments(t *testing.T) {
+	d := NewEmpirical([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if d.Mean() != 5 {
+		t.Fatalf("mean = %v, want 5", d.Mean())
+	}
+	if d.Std() != 2 {
+		t.Fatalf("std = %v, want 2", d.Std())
+	}
+	if math.Abs(d.CV()-0.4) > 1e-12 {
+		t.Fatalf("cv = %v, want 0.4", d.CV())
+	}
+}
+
+func TestEmpiricalHistogramIntegratesToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := NewEmpirical(nil)
+	for i := 0; i < 1000; i++ {
+		d.Add(rng.Float64() * 10)
+	}
+	edges, dens := d.Histogram(20)
+	if len(edges) != 20 || len(dens) != 20 {
+		t.Fatalf("got %d edges, %d densities", len(edges), len(dens))
+	}
+	width := edges[1] - edges[0]
+	var integral float64
+	for _, v := range dens {
+		integral += v * width
+	}
+	if math.Abs(integral-1) > 1e-9 {
+		t.Fatalf("histogram integral = %v, want 1", integral)
+	}
+}
+
+func TestReservoirUniformity(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	r := NewReservoir(100, rng)
+	for i := 0; i < 10000; i++ {
+		r.Add(float64(i))
+	}
+	if r.Len() != 100 || r.Seen() != 10000 {
+		t.Fatalf("len=%d seen=%d", r.Len(), r.Seen())
+	}
+	m, _ := MeanStd(r.Values())
+	// Mean of a uniform sample of 0..9999 should be near 5000.
+	if m < 4000 || m > 6000 {
+		t.Fatalf("reservoir mean = %v, not near 5000", m)
+	}
+}
+
+func TestConvolveQuantileIrwinHall(t *testing.T) {
+	// The analytically known check from Fig. 6: the 0.1-quantile of a sum of
+	// j iid U[0,1] is 0.10, 0.447, 0.843, 1.245 for j = 1..4.
+	rng := rand.New(rand.NewSource(7))
+	uniform := make([]float64, 20000)
+	for i := range uniform {
+		uniform[i] = rng.Float64()
+	}
+	want := []float64{0.10, 0.447, 0.843, 1.245}
+	for j := 1; j <= 4; j++ {
+		sources := make([][]float64, j)
+		for i := range sources {
+			sources[i] = uniform
+		}
+		got := ConvolveQuantile(sources, 0.1, 20000, rng)
+		if math.Abs(got-want[j-1]) > 0.05 {
+			t.Fatalf("j=%d quantile = %v, want ≈%v", j, got, want[j-1])
+		}
+	}
+}
+
+func TestConvolveQuantileEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	src := [][]float64{{1, 2, 3}}
+	if got := ConvolveQuantile(src, 0, 100, rng); got != 1 {
+		t.Fatalf("q=0 → %v, want 1", got)
+	}
+	if got := ConvolveQuantile(src, 1, 100, rng); got != 3 {
+		t.Fatalf("q=1 → %v, want 3", got)
+	}
+	if got := ConvolveQuantile(nil, 0.5, 100, rng); got != 0 {
+		t.Fatalf("no sources → %v, want 0", got)
+	}
+	if got := ConvolveQuantile([][]float64{{}, {5}}, 0.5, 100, rng); got != 5 {
+		t.Fatalf("empty source skipped → %v, want 5", got)
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	got := Percentiles([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 0.5, 0.9)
+	if got[0] != 5 || got[1] != 9 {
+		t.Fatalf("percentiles = %v", got)
+	}
+}
+
+func TestCoefficientOfVariation(t *testing.T) {
+	if cv := CoefficientOfVariation([]float64{5, 5, 5}); cv != 0 {
+		t.Fatalf("constant cv = %v", cv)
+	}
+	if cv := CoefficientOfVariation(nil); cv != 0 {
+		t.Fatalf("nil cv = %v", cv)
+	}
+}
+
+// Property: Quantile is monotone in q and inverts CDF within sample
+// resolution.
+func TestPropertyQuantileMonotone(t *testing.T) {
+	f := func(raw []float64, a, b float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		qa, qb := math.Abs(math.Mod(a, 1)), math.Abs(math.Mod(b, 1))
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		d := NewEmpirical(raw)
+		return d.Quantile(qa) <= d.Quantile(qb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CDF(Quantile(q)) >= q for all q in (0,1].
+func TestPropertyCDFQuantileGalois(t *testing.T) {
+	f := func(raw []float64, q float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		qq := math.Abs(math.Mod(q, 1))
+		if qq == 0 {
+			qq = 0.5
+		}
+		d := NewEmpirical(raw)
+		return d.CDF(d.Quantile(qq))+1e-12 >= qq
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: sliding-window unweighted mean equals the mean of Values().
+func TestPropertyWindowMeanConsistent(t *testing.T) {
+	f := func(vals []uint16) bool {
+		w := NewSlidingWindow(time.Hour)
+		var now time.Duration
+		for _, v := range vals {
+			now += time.Millisecond
+			w.Add(now, float64(v))
+		}
+		got, ok := w.UnweightedMean(now)
+		vs := w.Values(now)
+		if len(vals) == 0 {
+			return !ok
+		}
+		m, _ := MeanStd(vs)
+		return ok && math.Abs(got-m) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: reservoir never exceeds capacity and holds min(seen, cap).
+func TestPropertyReservoirSize(t *testing.T) {
+	f := func(n uint16) bool {
+		rng := rand.New(rand.NewSource(3))
+		r := NewReservoir(50, rng)
+		for i := 0; i < int(n); i++ {
+			r.Add(float64(i))
+		}
+		want := int(n)
+		if want > 50 {
+			want = 50
+		}
+		return r.Len() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConvolveSamplesSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	src := [][]float64{{1, 2}, {10, 20}}
+	out := ConvolveSamples(src, 1000, rng)
+	if len(out) != 1000 {
+		t.Fatalf("len = %d", len(out))
+	}
+	sort.Float64s(out)
+	if out[0] < 11 || out[len(out)-1] > 22 {
+		t.Fatalf("range [%v, %v] outside [11, 22]", out[0], out[len(out)-1])
+	}
+}
+
+func BenchmarkSlidingWindowAddMean(b *testing.B) {
+	w := NewSlidingWindow(5 * time.Second)
+	for i := 0; i < b.N; i++ {
+		now := time.Duration(i) * time.Millisecond
+		w.Add(now, float64(i%100))
+		if i%64 == 0 {
+			w.Mean(now)
+		}
+	}
+}
+
+func BenchmarkConvolveQuantile(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	src := make([][]float64, 4)
+	for i := range src {
+		s := make([]float64, 1000)
+		for j := range s {
+			s[j] = rng.Float64()
+		}
+		src[i] = s
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ConvolveQuantile(src, 0.1, 10000, rng)
+	}
+}

@@ -1,0 +1,388 @@
+// Package trace generates and replays request-arrival workloads.
+//
+// The paper evaluates on three real traces — Wikipedia access (smooth,
+// CV≈0.47), Twitter access (bursty, a 2× spike near t=850 s, CV≈1.0) and
+// Azure Functions (highly spiky, CV≈1.3). Those traces are not
+// redistributable, so this package synthesizes rate processes with the same
+// published shapes (see DESIGN.md's substitution table) and turns them into
+// arrival timestamps with a non-homogeneous Poisson process via Lewis-Shedler
+// thinning. Real traces can still be replayed from CSV.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kind names a built-in synthetic workload shape.
+type Kind string
+
+// Built-in workload kinds.
+const (
+	Wiki   Kind = "wiki"   // smooth diurnal ramp, low burstiness
+	Tweet  Kind = "tweet"  // moderate noise with a 2× burst around t≈850 s
+	Azure  Kind = "azure"  // rapid spiky oscillation
+	Steady Kind = "steady" // constant rate (sanity baselines, stress tests)
+	Step   Kind = "step"   // constant rate that doubles halfway through
+)
+
+// Kinds lists the built-in shapes.
+func Kinds() []Kind { return []Kind{Wiki, Tweet, Azure, Steady, Step} }
+
+// RateFunc maps elapsed time to an instantaneous request rate in req/s.
+type RateFunc func(t time.Duration) float64
+
+// Trace is a concrete arrival sequence.
+type Trace struct {
+	Name     string
+	Arrivals []time.Duration // sorted, offsets from t=0
+	Duration time.Duration
+}
+
+// Len returns the number of arrivals.
+func (tr *Trace) Len() int { return len(tr.Arrivals) }
+
+// MeanRate returns the average request rate over the trace duration.
+func (tr *Trace) MeanRate() float64 {
+	if tr.Duration <= 0 {
+		return 0
+	}
+	return float64(len(tr.Arrivals)) / tr.Duration.Seconds()
+}
+
+// Config parameterizes trace synthesis.
+type Config struct {
+	Kind     Kind
+	Duration time.Duration
+	// PeakRate scales the shape so its maximum nominal rate is PeakRate
+	// req/s. Zero selects the paper's nominal peak for the kind.
+	PeakRate float64
+	Seed     int64
+	// BurstAt positions the tweet/step burst as a fraction of Duration
+	// (default: kind-specific, tweet ≈ 0.6).
+	BurstAt float64
+}
+
+// nominalPeak mirrors the y-axis ranges of Fig. 10 (left).
+func nominalPeak(k Kind) float64 {
+	switch k {
+	case Wiki:
+		return 400
+	case Tweet:
+		return 600
+	case Azure:
+		return 600
+	case Steady:
+		return 300
+	case Step:
+		return 400
+	default:
+		return 300
+	}
+}
+
+// Rate returns the shape's rate function. The returned function is
+// deterministic in t (noise terms are fixed-frequency harmonics, not RNG
+// driven) so that integrating it is reproducible; Poisson sampling supplies
+// the stochasticity.
+func (c Config) Rate() (RateFunc, float64, error) {
+	dur := c.Duration
+	if dur <= 0 {
+		return nil, 0, fmt.Errorf("trace: duration must be positive, got %v", dur)
+	}
+	peak := c.PeakRate
+	if peak <= 0 {
+		peak = nominalPeak(c.Kind)
+	}
+	T := dur.Seconds()
+	burstAt := c.BurstAt
+	switch c.Kind {
+	case Wiki:
+		// Smooth ramp from ~25% to 100% of peak with gentle harmonics
+		// (Fig. 10 wiki panel: ~100 → 400 req/s over ~1000 s).
+		f := func(t time.Duration) float64 {
+			x := t.Seconds() / T
+			base := 0.25 + 0.75*x
+			wobble := 0.06*math.Sin(2*math.Pi*6*x) + 0.04*math.Sin(2*math.Pi*13*x+1.3)
+			r := peak * (base + wobble)
+			return clampRate(r, peak)
+		}
+		return f, peak * 1.1, nil
+	case Tweet:
+		// Mid-level noisy load with a 2× burst around burstAt (default 0.6 of
+		// the duration ≈ t=850 s for the 1400 s trace in Fig. 2d/10).
+		if burstAt == 0 {
+			burstAt = 0.6
+		}
+		f := func(t time.Duration) float64 {
+			x := t.Seconds() / T
+			base := 0.45 + 0.08*math.Sin(2*math.Pi*3*x) + 0.07*math.Sin(2*math.Pi*11*x+0.7) +
+				0.05*math.Sin(2*math.Pi*23*x+2.1)
+			// Main burst: sharp rise (seconds, faster than cold starts),
+			// exponential-ish decay (§3.2: input doubles around t=850 s).
+			base += burstPulse(x, burstAt, 0.003, 0.035, 0.55)
+			// Two secondary bursts.
+			base += burstPulse(x, burstAt*0.45, 0.004, 0.02, 0.25)
+			base += burstPulse(x, math.Min(burstAt*1.4, 0.95), 0.004, 0.018, 0.2)
+			return clampRate(peak*base, peak)
+		}
+		return f, peak * 1.1, nil
+	case Azure:
+		// High-frequency spiky oscillation in the upper band
+		// (Fig. 10 azure panel: 400–600 req/s, CV≈1.3 burstiness).
+		f := func(t time.Duration) float64 {
+			x := t.Seconds() / T
+			base := 0.72 + 0.08*math.Sin(2*math.Pi*5*x)
+			// Dense spike train at incommensurate frequencies gives the
+			// spiky profile.
+			s := math.Sin(2*math.Pi*97*x) * math.Sin(2*math.Pi*41*x+0.9)
+			if s > 0.45 {
+				base += 0.55 * (s - 0.45) / 0.55
+			}
+			if s < -0.55 {
+				base -= 0.6 * (-s - 0.55) / 0.45
+			}
+			return clampRate(peak*base, peak)
+		}
+		return f, peak * 1.25, nil
+	case Steady:
+		f := func(time.Duration) float64 { return peak }
+		return f, peak, nil
+	case Step:
+		if burstAt == 0 {
+			burstAt = 0.5
+		}
+		f := func(t time.Duration) float64 {
+			if t.Seconds()/T >= burstAt {
+				return peak
+			}
+			return peak / 2
+		}
+		return f, peak, nil
+	default:
+		return nil, 0, fmt.Errorf("trace: unknown kind %q", c.Kind)
+	}
+}
+
+// burstPulse is a pulse at center (fractional time) with rise/decay widths
+// and amplitude, used to compose bursty shapes.
+func burstPulse(x, center, rise, decay, amp float64) float64 {
+	d := x - center
+	switch {
+	case d < -rise || d > 6*decay:
+		return 0
+	case d < 0:
+		return amp * (1 + d/rise)
+	default:
+		return amp * math.Exp(-d/decay)
+	}
+}
+
+func clampRate(r, peak float64) float64 {
+	if r < 0 {
+		return 0
+	}
+	if r > 1.2*peak {
+		return 1.2 * peak
+	}
+	return r
+}
+
+// Generate synthesizes a trace from the config.
+func Generate(c Config) (*Trace, error) {
+	f, maxRate, err := c.Rate()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	arrivals := Thinning(f, maxRate, c.Duration, rng)
+	return &Trace{
+		Name:     string(c.Kind),
+		Arrivals: arrivals,
+		Duration: c.Duration,
+	}, nil
+}
+
+// MustGenerate is Generate for static configs; it panics on config errors.
+func MustGenerate(c Config) *Trace {
+	tr, err := Generate(c)
+	if err != nil {
+		panic(err)
+	}
+	return tr
+}
+
+// Thinning samples a non-homogeneous Poisson process with intensity rate(t)
+// bounded by maxRate over [0, duration) using Lewis-Shedler thinning.
+func Thinning(rate RateFunc, maxRate float64, duration time.Duration, rng *rand.Rand) []time.Duration {
+	if maxRate <= 0 || duration <= 0 {
+		return nil
+	}
+	var out []time.Duration
+	t := 0.0
+	end := duration.Seconds()
+	for {
+		t += rng.ExpFloat64() / maxRate
+		if t >= end {
+			return out
+		}
+		at := time.Duration(t * float64(time.Second))
+		if rng.Float64()*maxRate <= rate(at) {
+			out = append(out, at)
+		}
+	}
+}
+
+// Stats summarizes a trace: per-second arrival counts, their mean and CV.
+type Stats struct {
+	Seconds   int
+	MeanRate  float64
+	PeakRate  float64
+	CV        float64 // coefficient of variation of per-second counts
+	BurstCV   float64 // CV of residuals from a 30 s moving average (detrended)
+	PerSecond []float64
+}
+
+// Analyze bins arrivals per second and computes summary statistics.
+func (tr *Trace) Analyze() Stats {
+	secs := int(math.Ceil(tr.Duration.Seconds()))
+	if secs <= 0 {
+		return Stats{}
+	}
+	counts := make([]float64, secs)
+	for _, a := range tr.Arrivals {
+		i := int(a.Seconds())
+		if i >= secs {
+			i = secs - 1
+		}
+		counts[i]++
+	}
+	var sum, peak float64
+	for _, c := range counts {
+		sum += c
+		if c > peak {
+			peak = c
+		}
+	}
+	mean := sum / float64(secs)
+	var ss float64
+	for _, c := range counts {
+		d := c - mean
+		ss += d * d
+	}
+	std := math.Sqrt(ss / float64(secs))
+	cv := 0.0
+	if mean > 0 {
+		cv = std / mean
+	}
+	return Stats{
+		Seconds:   secs,
+		MeanRate:  mean,
+		PeakRate:  peak,
+		CV:        cv,
+		BurstCV:   burstCV(counts, 30),
+		PerSecond: counts,
+	}
+}
+
+// burstCV detrends per-second counts with a centered moving average of the
+// given width and returns std(residual)/mean: a trend-insensitive burstiness
+// measure used to rank traces (wiki < tweet < azure, §5.4).
+func burstCV(counts []float64, width int) float64 {
+	n := len(counts)
+	if n == 0 {
+		return 0
+	}
+	var mean float64
+	for _, c := range counts {
+		mean += c
+	}
+	mean /= float64(n)
+	if mean == 0 {
+		return 0
+	}
+	half := width / 2
+	var ss float64
+	for i := range counts {
+		lo, hi := i-half, i+half
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= n {
+			hi = n - 1
+		}
+		var local float64
+		for j := lo; j <= hi; j++ {
+			local += counts[j]
+		}
+		local /= float64(hi - lo + 1)
+		d := counts[i] - local
+		ss += d * d
+	}
+	return math.Sqrt(ss/float64(n)) / mean
+}
+
+// Slice returns the sub-trace covering [from, to), re-anchored at t=0.
+func (tr *Trace) Slice(from, to time.Duration) *Trace {
+	lo := sort.Search(len(tr.Arrivals), func(i int) bool { return tr.Arrivals[i] >= from })
+	hi := sort.Search(len(tr.Arrivals), func(i int) bool { return tr.Arrivals[i] >= to })
+	out := make([]time.Duration, 0, hi-lo)
+	for _, a := range tr.Arrivals[lo:hi] {
+		out = append(out, a-from)
+	}
+	return &Trace{Name: tr.Name, Arrivals: out, Duration: to - from}
+}
+
+// WriteCSV writes one arrival offset (in seconds, fractional) per line.
+func (tr *Trace) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# trace=%s duration_s=%.3f\n", tr.Name, tr.Duration.Seconds()); err != nil {
+		return err
+	}
+	for _, a := range tr.Arrivals {
+		if _, err := fmt.Fprintf(bw, "%.6f\n", a.Seconds()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a trace written by WriteCSV (or any newline-separated list
+// of arrival offsets in seconds; '#' lines are comments).
+func ReadCSV(name string, r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var arrivals []time.Duration
+	line := 0
+	for sc.Scan() {
+		line++
+		s := strings.TrimSpace(sc.Text())
+		if s == "" || strings.HasPrefix(s, "#") {
+			continue
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("trace: line %d: negative arrival %v", line, v)
+		}
+		arrivals = append(arrivals, time.Duration(v*float64(time.Second)))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(arrivals, func(i, j int) bool { return arrivals[i] < arrivals[j] })
+	dur := time.Duration(0)
+	if n := len(arrivals); n > 0 {
+		dur = arrivals[n-1] + time.Second
+	}
+	return &Trace{Name: name, Arrivals: arrivals, Duration: dur}, nil
+}
