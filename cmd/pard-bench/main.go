@@ -6,11 +6,17 @@
 //	pard-bench -scale full              # paper-length traces
 //	pard-bench -only fig8,fig11         # a subset
 //	pard-bench -out results             # also write text + CSV files
+//	pard-bench -parallel 8              # fan simulations out over 8 workers
+//
+// Parallelism never changes the artifacts: at a fixed seed the outputs are
+// byte-identical for any -parallel value (see internal/sweep).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -19,25 +25,42 @@ import (
 
 	"pard"
 	"pard/internal/plot"
+	"pard/internal/sweep"
 )
 
 func main() {
-	scale := flag.String("scale", "quick", "experiment scale: smoke, quick, full")
-	only := flag.String("only", "", "comma-separated experiment IDs (default all)")
-	out := flag.String("out", "", "directory for text + CSV outputs (optional)")
-	plots := flag.Bool("plot", false, "render ASCII charts for time-series tables")
-	seed := flag.Int64("seed", 1, "random seed")
-	list := flag.Bool("list", false, "list experiment IDs and exit")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "pard-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("pard-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scale := fs.String("scale", "quick", "experiment scale: smoke, quick, full")
+	only := fs.String("only", "", "comma-separated experiment IDs (default all)")
+	out := fs.String("out", "", "directory for text + CSV outputs (optional)")
+	plots := fs.Bool("plot", false, "render ASCII charts for time-series tables")
+	seed := fs.Int64("seed", 1, "random seed")
+	parallel := fs.Int("parallel", 0, "concurrent simulation runs (0 = all CPU cores, 1 = sequential)")
+	progress := fs.Bool("progress", false, "print per-run progress to stderr")
+	list := fs.Bool("list", false, "list experiment IDs and exit")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
 
 	if *list {
 		for _, e := range pard.Experiments() {
-			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+			fmt.Fprintf(stdout, "%-12s %s\n", e.ID, e.Title)
 		}
-		return
+		return nil
 	}
 
-	cfg := pard.ExperimentConfig{Scale: pard.ScaleQuick, Seed: *seed}
+	cfg := pard.ExperimentConfig{Scale: pard.ScaleQuick, Seed: *seed, Parallel: *parallel}
 	switch *scale {
 	case "smoke":
 		cfg.Scale = pard.ScaleSmoke
@@ -46,7 +69,16 @@ func main() {
 	case "full":
 		cfg.Scale = pard.ScaleFull
 	default:
-		fatal(fmt.Errorf("unknown scale %q", *scale))
+		return fmt.Errorf("unknown scale %q", *scale)
+	}
+	if *progress {
+		cfg.OnProgress = func(p sweep.Progress) {
+			status := fmt.Sprintf("%.1fs", p.Elapsed.Seconds())
+			if p.Err != nil {
+				status = "error: " + p.Err.Error()
+			}
+			fmt.Fprintf(stderr, "[%d/%d] %s (%s)\n", p.Done, p.Total, p.Key, status)
+		}
 	}
 
 	selected := map[string]bool{}
@@ -58,7 +90,7 @@ func main() {
 
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
-			fatal(err)
+			return err
 		}
 	}
 
@@ -72,34 +104,35 @@ func main() {
 		t0 := time.Now()
 		output, err := e.Run(harness)
 		if err != nil {
-			fatal(fmt.Errorf("%s: %w", e.ID, err))
+			return fmt.Errorf("%s: %w", e.ID, err)
 		}
 		ran++
-		fmt.Printf("=== %s — %s (%.1fs)\n\n", e.ID, e.Title, time.Since(t0).Seconds())
+		fmt.Fprintf(stdout, "=== %s — %s (%.1fs)\n\n", e.ID, e.Title, time.Since(t0).Seconds())
 		for _, tab := range output.Tables {
-			fmt.Println(tab.Render())
+			fmt.Fprintln(stdout, tab.Render())
 			if *plots {
 				if chart, ok := chartFromTable(tab); ok {
-					fmt.Println(chart)
+					fmt.Fprintln(stdout, chart)
 				}
 			}
 			if *out != "" {
 				path := filepath.Join(*out, tab.ID+".csv")
 				if err := os.WriteFile(path, []byte(tab.CSV()), 0o644); err != nil {
-					fatal(err)
+					return err
 				}
 			}
 		}
 		for _, note := range output.Notes {
-			fmt.Printf("note: %s\n", note)
+			fmt.Fprintf(stdout, "note: %s\n", note)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 	if ran == 0 {
-		fatal(fmt.Errorf("no experiments matched -only=%q", *only))
+		return fmt.Errorf("no experiments matched -only=%q", *only)
 	}
-	fmt.Printf("ran %d experiments in %.1fs (scale=%s seed=%d)\n",
-		ran, time.Since(start).Seconds(), *scale, *seed)
+	fmt.Fprintf(stdout, "ran %d experiments in %.1fs (scale=%s seed=%d parallel=%d)\n",
+		ran, time.Since(start).Seconds(), *scale, *seed, *parallel)
+	return nil
 }
 
 // chartFromTable renders an ASCII chart when the table looks like a time
@@ -147,9 +180,4 @@ func chartFromTable(tab pard.ExperimentTable) (string, bool) {
 		return "", false
 	}
 	return c.Render(), true
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "pard-bench:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pard"
+)
+
+func TestListExperiments(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-list"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"fig8", "fig13", "dag-dynamic"} {
+		if !strings.Contains(out.String(), id) {
+			t.Fatalf("-list output missing %s:\n%s", id, out.String())
+		}
+	}
+}
+
+func TestBadFlagsRejected(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-scale", "bogus"}, &out, &errb); err == nil {
+		t.Fatal("bogus scale accepted")
+	}
+	if err := run([]string{"-only", "nope"}, &out, &errb); err == nil {
+		t.Fatal("unknown -only accepted")
+	}
+}
+
+// TestSmokeRun regenerates one cheap artifact end-to-end in parallel mode,
+// writing CSVs, and checks the rendered output.
+func TestSmokeRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short")
+	}
+	dir := t.TempDir()
+	var out, errb bytes.Buffer
+	err := run([]string{"-scale", "smoke", "-only", "fig13", "-parallel", "2",
+		"-progress", "-out", dir}, &out, &errb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "fig13-switches") {
+		t.Fatalf("output missing fig13-switches table:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "ran 1 experiments") {
+		t.Fatalf("output missing run summary:\n%s", out.String())
+	}
+	if !strings.Contains(errb.String(), "[1/") {
+		t.Fatalf("-progress produced no progress lines:\n%s", errb.String())
+	}
+	csv, err := filepath.Glob(filepath.Join(dir, "*.csv"))
+	if err != nil || len(csv) == 0 {
+		t.Fatalf("no CSVs written to -out (err=%v)", err)
+	}
+}
+
+func TestChartFromTable(t *testing.T) {
+	tab := pard.ExperimentTable{
+		Title:   "t",
+		Columns: []string{"time", "v"},
+		Rows: [][]string{
+			{"0s", "1.0"}, {"10s", "2.0"}, {"20s", "3.0"}, {"30s", "4.0"},
+		},
+	}
+	if _, ok := chartFromTable(tab); !ok {
+		t.Fatal("numeric time series not charted")
+	}
+	tab.Rows[0][0] = "not-a-number"
+	if _, ok := chartFromTable(tab); ok {
+		t.Fatal("non-numeric first column charted")
+	}
+}

@@ -27,28 +27,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
 
-	var spec *pard.Pipeline
-	switch *app {
-	case "tm":
-		spec = pard.TM()
-	case "lv":
-		spec = pard.LV()
-	case "gm":
-		spec = pard.GM()
-	default:
-		fatal(fmt.Errorf("unknown app %q (live server hosts chain pipelines: tm, lv, gm)", *app))
-	}
-
-	ws := make([]int, spec.N())
-	for i := range ws {
-		ws[i] = *workers
-	}
-	srv, err := pard.NewServer(pard.ServerConfig{
-		Spec:       spec,
-		PolicyName: *policyName,
-		Workers:    ws,
-		Seed:       *seed,
-	})
+	srv, spec, err := newServer(*app, *policyName, *workers, *seed)
 	if err != nil {
 		fatal(err)
 	}
@@ -60,6 +39,36 @@ func main() {
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
 		fatal(err)
 	}
+}
+
+// newServer builds (but does not start) the live server for an app name.
+func newServer(app, policyName string, workers int, seed int64) (*pard.Server, *pard.Pipeline, error) {
+	var spec *pard.Pipeline
+	switch app {
+	case "tm":
+		spec = pard.TM()
+	case "lv":
+		spec = pard.LV()
+	case "gm":
+		spec = pard.GM()
+	default:
+		return nil, nil, fmt.Errorf("unknown app %q (live server hosts chain pipelines: tm, lv, gm)", app)
+	}
+
+	ws := make([]int, spec.N())
+	for i := range ws {
+		ws[i] = workers
+	}
+	srv, err := pard.NewServer(pard.ServerConfig{
+		Spec:       spec,
+		PolicyName: policyName,
+		Workers:    ws,
+		Seed:       seed,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return srv, spec, nil
 }
 
 func fatal(err error) {

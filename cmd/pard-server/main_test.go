@@ -1,0 +1,50 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestUnknownAppRejected(t *testing.T) {
+	if _, _, err := newServer("bogus", "pard", 2, 1); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+// TestServeOneRequest starts the live server, pushes one request through
+// the HTTP data plane and reads the stats endpoint.
+func TestServeOneRequest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short")
+	}
+	srv, spec, err := newServer("tm", "pard", 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.N() != 3 {
+		t.Fatalf("tm has %d modules, want 3", spec.N())
+	}
+	srv.Start()
+	defer srv.Stop()
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/infer", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /infer status %d", resp.StatusCode)
+	}
+	stats, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stats.Body.Close()
+	if stats.StatusCode != http.StatusOK {
+		t.Fatalf("GET /stats status %d", stats.StatusCode)
+	}
+}

@@ -5,39 +5,58 @@
 //
 //	pard-sim -app lv -trace tweet -policy pard -duration 300s
 //	pard-sim -app da -trace azure -policy nexus -seed 7 -compare
+//	pard-sim -compare -parallel 4    # fan the comparison out over 4 workers
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"pard"
+	"pard/internal/sweep"
 )
 
 func main() {
-	app := flag.String("app", "lv", "application pipeline: tm, lv, gm, da")
-	traceKind := flag.String("trace", "tweet", "workload trace: wiki, tweet, azure, steady, step")
-	policyName := flag.String("policy", "pard", "drop policy (see -list)")
-	duration := flag.Duration("duration", 300*time.Second, "trace duration")
-	rate := flag.Float64("rate", 0, "peak rate override (req/s; 0 = paper nominal)")
-	seed := flag.Int64("seed", 1, "random seed")
-	compare := flag.Bool("compare", false, "run the four headline systems instead of one policy")
-	list := flag.Bool("list", false, "list policies and exit")
-	window := flag.Duration("window", 24*time.Second, "goodput window size")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "pard-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("pard-sim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	app := fs.String("app", "lv", "application pipeline: tm, lv, gm, da")
+	traceKind := fs.String("trace", "tweet", "workload trace: wiki, tweet, azure, steady, step")
+	policyName := fs.String("policy", "pard", "drop policy (see -list)")
+	duration := fs.Duration("duration", 300*time.Second, "trace duration")
+	rate := fs.Float64("rate", 0, "peak rate override (req/s; 0 = paper nominal)")
+	seed := fs.Int64("seed", 1, "random seed")
+	compare := fs.Bool("compare", false, "run the four headline systems instead of one policy")
+	parallel := fs.Int("parallel", 0, "concurrent simulation runs (0 = all CPU cores, 1 = sequential)")
+	list := fs.Bool("list", false, "list policies and exit")
+	window := fs.Duration("window", 24*time.Second, "goodput window size")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
 
 	if *list {
 		for _, p := range pard.Policies() {
-			fmt.Println(p)
+			fmt.Fprintln(stdout, p)
 		}
-		return
+		return nil
 	}
 
 	spec, err := specFor(*app)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	tr, err := pard.NewTrace(pard.TraceConfig{
 		Kind:     pard.TraceKind(*traceKind),
@@ -46,38 +65,56 @@ func main() {
 		Seed:     *seed,
 	})
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("workload %s-%s: %d requests, mean %.1f req/s, SLO %v\n",
+	fmt.Fprintf(stdout, "workload %s-%s: %d requests, mean %.1f req/s, SLO %v\n",
 		*app, *traceKind, tr.Len(), tr.MeanRate(), spec.SLO)
 
 	policies := []string{*policyName}
 	if *compare {
 		policies = pard.ComparisonPolicies()
 	}
-	fmt.Printf("%-14s %9s %9s %9s %9s %12s %10s %8s %8s\n",
-		"policy", "goodput", "drop", "invalid", "late", "minGoodput", "maxDrop", "p50", "p99")
-	for _, pol := range policies {
-		res, err := pard.Simulate(pard.SimConfig{
-			Spec:       spec,
-			PolicyName: pol,
-			Trace:      tr,
-			Seed:       *seed,
-		})
-		if err != nil {
-			fatal(err)
+
+	// Fan the policy runs out over a bounded worker pool. Every policy
+	// deliberately keeps the user's seed (the comparison fixes the workload
+	// and jitter streams), so the output is identical at any -parallel.
+	eng := sweep.New(sweep.Config{Workers: *parallel, BaseSeed: *seed})
+	jobs := make([]sweep.Job[*pard.SimResult], len(policies))
+	for i, pol := range policies {
+		pol := pol
+		jobs[i] = sweep.Job[*pard.SimResult]{
+			Key: "sim|" + pol,
+			Run: func(int64) (*pard.SimResult, error) {
+				return pard.Simulate(pard.SimConfig{
+					Spec:       spec,
+					PolicyName: pol,
+					Trace:      tr,
+					Seed:       *seed,
+				})
+			},
 		}
+	}
+	results, err := sweep.All(eng, jobs)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(stdout, "%-14s %9s %9s %9s %9s %12s %10s %8s %8s\n",
+		"policy", "goodput", "drop", "invalid", "late", "minGoodput", "maxDrop", "p50", "p99")
+	for i, pol := range policies {
+		res := results[i]
 		s := res.Summary
 		p50, p99 := time.Duration(0), time.Duration(0)
 		if qs := res.Collector.LatencyQuantiles(0.5, 0.99); qs != nil {
 			p50, p99 = qs[0], qs[1]
 		}
-		fmt.Printf("%-14s %8.1f/s %8.2f%% %8.2f%% %9d %12.3f %9.2f%% %7dms %6dms\n",
+		fmt.Fprintf(stdout, "%-14s %8.1f/s %8.2f%% %8.2f%% %9d %12.3f %9.2f%% %7dms %6dms\n",
 			pol, s.Goodput, 100*s.DropRate, 100*s.InvalidRate, s.Late,
 			res.Collector.MinNormalizedGoodput(*window),
 			100*res.Collector.MaxDropRate(*window),
 			p50.Milliseconds(), p99.Milliseconds())
 	}
+	return nil
 }
 
 func specFor(app string) (*pard.Pipeline, error) {
@@ -95,9 +132,4 @@ func specFor(app string) (*pard.Pipeline, error) {
 	default:
 		return nil, fmt.Errorf("unknown app %q (tm, lv, gm, da, da-dyn)", app)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "pard-sim:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSpecFor(t *testing.T) {
+	for _, app := range []string{"tm", "lv", "gm", "da", "da-dyn"} {
+		if _, err := specFor(app); err != nil {
+			t.Fatalf("%s: %v", app, err)
+		}
+	}
+	if _, err := specFor("bogus"); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestListPolicies(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-list"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "pard") || !strings.Contains(out.String(), "nexus") {
+		t.Fatalf("-list output missing policies:\n%s", out.String())
+	}
+}
+
+// TestCompareParallelDeterministic runs the four-system comparison twice —
+// sequentially and with a worker pool — and requires identical reports.
+func TestCompareParallelDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short")
+	}
+	args := []string{"-app", "tm", "-trace", "steady", "-duration", "30s",
+		"-seed", "5", "-compare"}
+	var seq, par, errb bytes.Buffer
+	if err := run(append(args, "-parallel", "1"), &seq, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(args, "-parallel", "4"), &par, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if seq.String() != par.String() {
+		t.Fatalf("parallel compare diverged:\n--- sequential\n%s--- parallel\n%s", seq.String(), par.String())
+	}
+	for _, pol := range []string{"pard", "nexus", "clipper++", "naive"} {
+		if !strings.Contains(seq.String(), pol) {
+			t.Fatalf("comparison missing %s:\n%s", pol, seq.String())
+		}
+	}
+}

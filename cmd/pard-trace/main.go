@@ -7,8 +7,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -16,20 +18,34 @@ import (
 )
 
 func main() {
-	kind := flag.String("kind", "tweet", "trace shape: wiki, tweet, azure, steady, step")
-	duration := flag.Duration("duration", 1400*time.Second, "trace duration")
-	rate := flag.Float64("rate", 0, "peak rate (req/s; 0 = paper nominal)")
-	seed := flag.Int64("seed", 1, "random seed")
-	out := flag.String("out", "", "write CSV to this file (default stdout summary only)")
-	inspect := flag.String("inspect", "", "analyze an existing trace CSV instead of generating")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "pard-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("pard-trace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	kind := fs.String("kind", "tweet", "trace shape: wiki, tweet, azure, steady, step")
+	duration := fs.Duration("duration", 1400*time.Second, "trace duration")
+	rate := fs.Float64("rate", 0, "peak rate (req/s; 0 = paper nominal)")
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("out", "", "write CSV to this file (default stdout summary only)")
+	inspect := fs.String("inspect", "", "analyze an existing trace CSV instead of generating")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
 
 	var tr *pard.Trace
 	var err error
 	if *inspect != "" {
 		f, err2 := os.Open(*inspect)
 		if err2 != nil {
-			fatal(err2)
+			return err2
 		}
 		defer f.Close()
 		tr, err = pard.ReadTraceCSV(*inspect, f)
@@ -42,30 +58,26 @@ func main() {
 		})
 	}
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	st := tr.Analyze()
-	fmt.Printf("trace %s: %d arrivals over %v\n", tr.Name, tr.Len(), tr.Duration)
-	fmt.Printf("  mean rate  %.1f req/s\n", st.MeanRate)
-	fmt.Printf("  peak rate  %.1f req/s\n", st.PeakRate)
-	fmt.Printf("  CV         %.3f\n", st.CV)
-	fmt.Printf("  burst CV   %.3f (detrended)\n", st.BurstCV)
+	fmt.Fprintf(stdout, "trace %s: %d arrivals over %v\n", tr.Name, tr.Len(), tr.Duration)
+	fmt.Fprintf(stdout, "  mean rate  %.1f req/s\n", st.MeanRate)
+	fmt.Fprintf(stdout, "  peak rate  %.1f req/s\n", st.PeakRate)
+	fmt.Fprintf(stdout, "  CV         %.3f\n", st.CV)
+	fmt.Fprintf(stdout, "  burst CV   %.3f (detrended)\n", st.BurstCV)
 
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
 		if err := tr.WriteCSV(f); err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("wrote %s\n", *out)
+		fmt.Fprintf(stdout, "wrote %s\n", *out)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "pard-trace:", err)
-	os.Exit(1)
+	return nil
 }

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGenerateSummary(t *testing.T) {
+	var out, errb bytes.Buffer
+	err := run([]string{"-kind", "steady", "-duration", "30s", "-rate", "100"}, &out, &errb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "mean rate") {
+		t.Fatalf("summary missing mean rate:\n%s", out.String())
+	}
+}
+
+func TestWriteAndInspectRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.csv")
+	var out, errb bytes.Buffer
+	err := run([]string{"-kind", "steady", "-duration", "30s", "-rate", "100",
+		"-out", path}, &out, &errb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("CSV not written: %v", err)
+	}
+	out.Reset()
+	if err := run([]string{"-inspect", path}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "arrivals") {
+		t.Fatalf("inspect output missing arrivals:\n%s", out.String())
+	}
+}
+
+func TestUnknownKindRejected(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-kind", "bogus"}, &out, &errb); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}

@@ -1,0 +1,20 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"pard"
+)
+
+// TestSmoke parses the example's JSON pipeline definition and simulates it
+// briefly with the example's profiled models.
+func TestSmoke(t *testing.T) {
+	spec, err := pard.ParsePipeline(strings.NewReader(pipelineJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.N() != 3 || spec.App != "docproc" {
+		t.Fatalf("parsed %s with %d modules, want docproc/3", spec.App, spec.N())
+	}
+}

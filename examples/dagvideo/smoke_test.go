@@ -1,0 +1,27 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"pard"
+)
+
+// TestSmoke exercises the example's path — the DA DAG (static and dynamic
+// branches) under the tweet trace — at a tiny scale.
+func TestSmoke(t *testing.T) {
+	tr := pard.GenerateTrace(pard.TraceConfig{Kind: pard.Tweet, Duration: 20 * time.Second, Seed: 3})
+	static := pard.DA()
+	if len(static.AllPaths()) < 2 {
+		t.Fatalf("da has %d paths, want a fan-out DAG", len(static.AllPaths()))
+	}
+	for _, spec := range []*pard.Pipeline{static, pard.DADynamic(0.5)} {
+		res, err := pard.Simulate(pard.SimConfig{Spec: spec, PolicyName: "pard", Trace: tr, Seed: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", spec.App, err)
+		}
+		if res.Summary.Total == 0 {
+			t.Fatalf("%s: no requests simulated", spec.App)
+		}
+	}
+}

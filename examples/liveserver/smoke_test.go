@@ -1,0 +1,42 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"pard"
+)
+
+// TestSmoke builds the example's scaled-down live server and pushes one
+// request through its HTTP data plane.
+func TestSmoke(t *testing.T) {
+	lib, err := pard.LoadLibraryScaled(pard.DefaultLibrary(), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := pard.NewServer(pard.ServerConfig{
+		Spec:       pard.Chain("live-tm", 25*time.Millisecond, 3, "objdet"),
+		Lib:        lib,
+		PolicyName: "pard",
+		Workers:    []int{2, 2, 2},
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	defer srv.Stop()
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/infer", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /infer status %d", resp.StatusCode)
+	}
+}

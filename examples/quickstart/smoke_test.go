@@ -1,0 +1,24 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"pard"
+)
+
+// TestSmoke exercises the quickstart path (trace → LV pipeline → PARD
+// simulation) at a tiny scale so the example's API surface stays valid.
+func TestSmoke(t *testing.T) {
+	tr := pard.GenerateTrace(pard.TraceConfig{Kind: pard.Tweet, Duration: 20 * time.Second, Seed: 1})
+	if tr.Len() == 0 {
+		t.Fatal("empty trace")
+	}
+	res, err := pard.Simulate(pard.SimConfig{Spec: pard.LV(), PolicyName: "pard", Trace: tr, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.Total == 0 {
+		t.Fatal("no requests simulated")
+	}
+}

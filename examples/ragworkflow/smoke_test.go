@@ -1,0 +1,22 @@
+package main
+
+import (
+	"testing"
+
+	"pard"
+)
+
+// TestSmoke runs the three RAG dropping policies at a tiny query count.
+func TestSmoke(t *testing.T) {
+	for _, p := range []pard.RAGPolicy{pard.RAGReactive, pard.RAGProactive, pard.RAGPredict} {
+		cfg := pard.DefaultRAGConfig(p)
+		cfg.Queries = 200
+		res, err := pard.RunRAG(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if res.NormalizedGoodput <= 0 {
+			t.Fatalf("%s: goodput %v", p, res.NormalizedGoodput)
+		}
+	}
+}

@@ -1,0 +1,23 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"pard"
+)
+
+// TestSmoke exercises the example's path — TM pipeline under the azure
+// trace, comparison policies — at a tiny scale.
+func TestSmoke(t *testing.T) {
+	tr := pard.GenerateTrace(pard.TraceConfig{Kind: pard.Azure, Duration: 20 * time.Second, Seed: 7})
+	for _, pol := range pard.ComparisonPolicies() {
+		res, err := pard.Simulate(pard.SimConfig{Spec: pard.TM(), PolicyName: pol, Trace: tr, Seed: 7})
+		if err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+		if res.Summary.Total == 0 {
+			t.Fatalf("%s: no requests simulated", pol)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module pard
+
+go 1.24.0

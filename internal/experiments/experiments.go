@@ -16,8 +16,8 @@ import (
 	"strings"
 	"time"
 
-	"pard/internal/pipeline"
 	"pard/internal/simgpu"
+	"pard/internal/sweep"
 	"pard/internal/trace"
 )
 
@@ -64,6 +64,12 @@ type Output struct {
 type Config struct {
 	Scale Scale
 	Seed  int64
+	// Parallel bounds concurrent simulation runs when a generator submits
+	// a grid (0 = runtime.NumCPU(), 1 = sequential). Any value produces
+	// identical outputs at a fixed seed; it only changes wall-clock time.
+	Parallel int
+	// OnProgress, when set, receives one callback per finished grid run.
+	OnProgress func(sweep.Progress)
 }
 
 func (c Config) withDefaults() Config {
@@ -83,113 +89,60 @@ type Experiment struct {
 	Run   func(h *Harness) (*Output, error)
 }
 
-// Harness executes experiments with a cache of simulation runs so figures
-// sharing workloads (e.g. Figs. 8-10) don't recompute them.
+// Harness executes experiments on a parallel sweep engine whose cache of
+// simulation runs lets figures sharing workloads (e.g. Figs. 8-10) avoid
+// recomputing them.
 type Harness struct {
-	cfg    Config
-	cache  map[string]*simgpu.Result
-	traces map[string]*trace.Trace
+	cfg Config
+	eng *sweep.Engine
 }
 
 // NewHarness returns a harness for the config.
 func NewHarness(cfg Config) *Harness {
+	cfg = cfg.withDefaults()
 	return &Harness{
-		cfg:    cfg.withDefaults(),
-		cache:  map[string]*simgpu.Result{},
-		traces: map[string]*trace.Trace{},
+		cfg: cfg,
+		eng: sweep.New(sweep.Config{
+			Workers:       cfg.Parallel,
+			BaseSeed:      cfg.Seed,
+			TraceDuration: traceDuration(cfg.Scale),
+			OnProgress:    cfg.OnProgress,
+		}),
 	}
 }
 
 // Config returns the effective configuration.
 func (h *Harness) Config() Config { return h.cfg }
 
+// Engine exposes the underlying sweep engine (for generic, non-simgpu
+// jobs such as the RAG case study).
+func (h *Harness) Engine() *sweep.Engine { return h.eng }
+
 // Trace returns (and caches) the synthetic trace for a workload kind at the
 // harness scale.
 func (h *Harness) Trace(kind trace.Kind) *trace.Trace {
-	key := string(kind)
-	if tr, ok := h.traces[key]; ok {
-		return tr
+	tr, err := h.eng.Trace(kind)
+	if err != nil {
+		panic(err) // built-in kinds always generate
 	}
-	tr := trace.MustGenerate(trace.Config{
-		Kind:     kind,
-		Duration: traceDuration(h.cfg.Scale),
-		Seed:     h.cfg.Seed,
-	})
-	h.traces[key] = tr
 	return tr
 }
 
-// appSpec returns the pipeline for an app name.
-func appSpec(app string) (*pipeline.Spec, error) {
-	if s, ok := pipeline.Apps()[app]; ok {
-		return s, nil
-	}
-	switch app {
-	case "da-dyn":
-		return pipeline.DADynamic(0.5), nil
-	}
-	return nil, fmt.Errorf("experiments: unknown app %q", app)
-}
-
 // RunOpts tweaks a single simulation beyond app/trace/policy.
-type RunOpts struct {
-	Probes       simgpu.ProbeConfig
-	Lambda       float64
-	SLOOverride  time.Duration
-	WindowSize   time.Duration
-	FixedWorkers []int
-	SteadyRate   float64 // use a steady trace at this rate instead of a kind
-}
+type RunOpts = sweep.RunOpts
 
-// cacheKey builds a deterministic key for run caching.
-func cacheKey(app string, kind trace.Kind, policy string, o RunOpts) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s|%s|%s|p=%+v|l=%v|slo=%v|w=%v|r=%v|fw=%v",
-		app, kind, policy, o.Probes, o.Lambda, o.SLOOverride, o.WindowSize, o.SteadyRate, o.FixedWorkers)
-	return b.String()
-}
+// Spec identifies one grid point of a sweep.
+type Spec = sweep.Spec
 
 // Run executes (or retrieves from cache) one simulation.
 func (h *Harness) Run(app string, kind trace.Kind, policy string, opts RunOpts) (*simgpu.Result, error) {
-	key := cacheKey(app, kind, policy, opts)
-	if res, ok := h.cache[key]; ok {
-		return res, nil
-	}
-	spec, err := appSpec(app)
-	if err != nil {
-		return nil, err
-	}
-	if opts.SLOOverride > 0 {
-		cp := *spec
-		cp.SLO = opts.SLOOverride
-		spec = &cp
-	}
-	var tr *trace.Trace
-	if opts.SteadyRate > 0 {
-		tr = trace.MustGenerate(trace.Config{
-			Kind:     trace.Steady,
-			Duration: traceDuration(h.cfg.Scale) / 2,
-			PeakRate: opts.SteadyRate,
-			Seed:     h.cfg.Seed,
-		})
-	} else {
-		tr = h.Trace(kind)
-	}
-	res, err := simgpu.Run(simgpu.Config{
-		Spec:           spec,
-		PolicyName:     policy,
-		Trace:          tr,
-		Seed:           h.cfg.Seed,
-		Probes:         opts.Probes,
-		Lambda:         opts.Lambda,
-		PriorityWindow: opts.WindowSize,
-		FixedWorkers:   opts.FixedWorkers,
-	})
-	if err != nil {
-		return nil, err
-	}
-	h.cache[key] = res
-	return res, nil
+	return h.eng.Run(Spec{App: app, Kind: kind, Policy: policy, Opts: opts})
+}
+
+// Sweep executes a grid of specs concurrently and returns results in input
+// order; see sweep.Engine.Sweep for the determinism contract.
+func (h *Harness) Sweep(specs []Spec) ([]*simgpu.Result, error) {
+	return h.eng.Sweep(specs)
 }
 
 var registry []Experiment

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"pard/internal/sweep"
 	"pard/internal/trace"
 )
 
@@ -138,6 +139,70 @@ func TestFig13Shape(t *testing.T) {
 	instant, _ := strconv.Atoi(switches.Rows[1][1])
 	if instant < pard {
 		t.Fatalf("pard-instant switched %d times, pard %d — expected instant >= pard", instant, pard)
+	}
+}
+
+// renderAll flattens an experiment output for byte comparison.
+func renderAll(out *Output) string {
+	var b strings.Builder
+	for _, tab := range out.Tables {
+		b.WriteString(tab.Render())
+		b.WriteString(tab.CSV())
+	}
+	for _, n := range out.Notes {
+		b.WriteString(n)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestParallelHarnessMatchesSequential checks the harness-level determinism
+// contract: a parallel harness renders byte-identical artifacts to a
+// sequential one at the same seed.
+func TestParallelHarnessMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short")
+	}
+	for _, id := range []string{"fig2c", "fig13", "ext-failure"} {
+		e, err := Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqOut, err := e.Run(NewHarness(Config{Scale: Smoke, Seed: 3, Parallel: 1}))
+		if err != nil {
+			t.Fatalf("%s sequential: %v", id, err)
+		}
+		parOut, err := e.Run(NewHarness(Config{Scale: Smoke, Seed: 3, Parallel: 8}))
+		if err != nil {
+			t.Fatalf("%s parallel: %v", id, err)
+		}
+		seq, par := renderAll(seqOut), renderAll(parOut)
+		if seq != par {
+			t.Fatalf("%s: parallel output diverged from sequential\n--- sequential\n%s\n--- parallel\n%s", id, seq, par)
+		}
+	}
+}
+
+func TestProgressReported(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short")
+	}
+	var done int
+	h := NewHarness(Config{Scale: Smoke, Seed: 1, Parallel: 4,
+		OnProgress: func(p sweep.Progress) { done = p.Done }})
+	if _, err := fig13(h); err != nil {
+		t.Fatal(err)
+	}
+	// fig13 executes 2 simulation runs plus 1 trace synthesis (lv-tweet).
+	if done != 3 {
+		t.Fatalf("progress reported %d done artifacts, want 3", done)
+	}
+	// Re-running the experiment is all cache hits: no further callbacks.
+	if _, err := fig13(h); err != nil {
+		t.Fatal(err)
+	}
+	if done != 3 {
+		t.Fatalf("cache hits reported as progress: %d done artifacts, want 3", done)
 	}
 }
 

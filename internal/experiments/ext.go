@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"time"
 
-	"pard/internal/pipeline"
 	"pard/internal/policy"
 	"pard/internal/simgpu"
 	"pard/internal/trace"
@@ -29,33 +28,29 @@ func init() {
 // extension does.
 func extFailure(h *Harness) (*Output, error) {
 	dur := traceDuration(h.cfg.Scale)
-	tr := trace.MustGenerate(trace.Config{
-		Kind:     trace.Steady,
-		Duration: dur,
-		PeakRate: 350,
-		Seed:     h.cfg.Seed,
-	})
 	failAt := dur / 3
 	t := Table{
 		ID:      "ext-failure",
 		Title:   fmt.Sprintf("metrics with 2 of module-2's workers failing at t=%s (lv, steady 350 req/s)", secs(failAt)),
 		Columns: []string{"policy", "drop rate", "invalid rate", "min goodput (10s)", "goodput"},
 	}
+	specs := make([]Spec, 0, len(policy.Comparison()))
 	for _, pol := range policy.Comparison() {
-		res, err := simgpu.Run(simgpu.Config{
-			Spec:       h.mustSpec("lv"),
-			PolicyName: pol,
-			Trace:      tr,
-			Seed:       h.cfg.Seed,
+		specs = append(specs, Spec{App: "lv", Policy: pol, Opts: RunOpts{
+			SteadyRate: 350,
+			SteadyDur:  dur,
 			Failures:   []simgpu.Failure{{At: failAt, Module: 2, Count: 2}},
-		})
-		if err != nil {
-			return nil, err
-		}
-		s := res.Summary
+		}})
+	}
+	results, err := h.Sweep(specs)
+	if err != nil {
+		return nil, err
+	}
+	for i, pol := range policy.Comparison() {
+		s := results[i].Summary
 		t.Rows = append(t.Rows, []string{
 			pol, pct(s.DropRate), pct(s.InvalidRate),
-			f3(res.Collector.MinNormalizedGoodput(10 * time.Second)),
+			f3(results[i].Collector.MinNormalizedGoodput(10 * time.Second)),
 			f1(s.Goodput),
 		})
 	}
@@ -72,15 +67,19 @@ func extAnalytic(h *Harness) (*Output, error) {
 		Title:   "drop rate: Monte-Carlo (pard) vs closed-form (pard-analytic) wait estimation, lv",
 		Columns: []string{"trace", "pard (MC)", "pard-analytic (CLT)"},
 	}
-	for _, kind := range []trace.Kind{trace.Wiki, trace.Tweet, trace.Azure} {
-		mc, err := h.Run("lv", kind, "pard", RunOpts{})
-		if err != nil {
-			return nil, err
+	kinds := []trace.Kind{trace.Wiki, trace.Tweet, trace.Azure}
+	var specs []Spec
+	for _, kind := range kinds {
+		for _, pol := range []string{"pard", "pard-analytic"} {
+			specs = append(specs, Spec{App: "lv", Kind: kind, Policy: pol})
 		}
-		an, err := h.Run("lv", kind, "pard-analytic", RunOpts{})
-		if err != nil {
-			return nil, err
-		}
+	}
+	results, err := h.Sweep(specs)
+	if err != nil {
+		return nil, err
+	}
+	for i, kind := range kinds {
+		mc, an := results[2*i], results[2*i+1]
 		t.Rows = append(t.Rows, []string{
 			string(kind), pct(mc.Summary.DropRate), pct(an.Summary.DropRate),
 		})
@@ -89,14 +88,4 @@ func extAnalytic(h *Harness) (*Output, error) {
 		"The closed form needs no per-sync sampling (see BenchmarkAnalyticQuantile vs BenchmarkConvolveQuantile)",
 		"but assumes W_i ~ U[0, d_i]; under partially-filled batches the empirical distribution deviates.",
 	}}, nil
-}
-
-// mustSpec resolves an app name, panicking on registry bugs (callers pass
-// literals).
-func (h *Harness) mustSpec(app string) *pipeline.Spec {
-	s, err := appSpec(app)
-	if err != nil {
-		panic(err)
-	}
-	return s
 }

@@ -28,11 +28,16 @@ func fig11(h *Harness) (*Output, error) {
 		Title:   "percent of drops at each module per ablation",
 		Columns: []string{"policy", "M1", "M2", "M3", "M4", "M5"},
 	}
+	specs := make([]Spec, 0, len(policy.Ablations()))
 	for _, pol := range policy.Ablations() {
-		res, err := h.Run("lv", trace.Tweet, pol, RunOpts{})
-		if err != nil {
-			return nil, err
-		}
+		specs = append(specs, Spec{App: "lv", Kind: trace.Tweet, Policy: pol})
+	}
+	results, err := h.Sweep(specs)
+	if err != nil {
+		return nil, err
+	}
+	for i, pol := range policy.Ablations() {
+		res := results[i]
 		s := res.Summary
 		norm := 0.0
 		if s.Total > 0 {

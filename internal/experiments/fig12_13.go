@@ -113,13 +113,18 @@ func fig12c(h *Harness) (*Output, error) {
 		bucket = 5 * time.Second
 	}
 	var tables []Table
-	for _, pol := range []string{"pard", "pard-fcfs", "pard-lbf"} {
-		res, err := h.Run("lv", trace.Tweet, pol, RunOpts{
-			Probes: simgpu.ProbeConfig{QueueDelay: true},
-		})
-		if err != nil {
-			return nil, err
-		}
+	pols := []string{"pard", "pard-fcfs", "pard-lbf"}
+	specs := make([]Spec, len(pols))
+	for i, pol := range pols {
+		specs[i] = Spec{App: "lv", Kind: trace.Tweet, Policy: pol,
+			Opts: RunOpts{Probes: simgpu.ProbeConfig{QueueDelay: true}}}
+	}
+	results, err := h.Sweep(specs)
+	if err != nil {
+		return nil, err
+	}
+	for i, pol := range pols {
+		res := results[i]
 		t := Table{
 			ID:      "fig12c-" + pol,
 			Title:   fmt.Sprintf("queueing delay (ms) per module over time, %s", pol),
@@ -187,13 +192,18 @@ func fig13(h *Harness) (*Output, error) {
 		Title:   "total HBF/LBF transitions over the run",
 		Columns: []string{"policy", "switches"},
 	}
-	for _, pol := range []string{"pard", "pard-instant"} {
-		res, err := h.Run("lv", trace.Tweet, pol, RunOpts{
-			Probes: simgpu.ProbeConfig{LoadFactor: true},
-		})
-		if err != nil {
-			return nil, err
-		}
+	pols := []string{"pard", "pard-instant"}
+	specs := make([]Spec, len(pols))
+	for i, pol := range pols {
+		specs[i] = Spec{App: "lv", Kind: trace.Tweet, Policy: pol,
+			Opts: RunOpts{Probes: simgpu.ProbeConfig{LoadFactor: true}}}
+	}
+	results, err := h.Sweep(specs)
+	if err != nil {
+		return nil, err
+	}
+	for i, pol := range pols {
+		res := results[i]
 		t := Table{
 			ID:      "fig13-" + pol,
 			Title:   fmt.Sprintf("load factor μ and priority mode (0=LBF,1=HBF) over time, %s", pol),

@@ -41,14 +41,24 @@ func fig14a(h *Harness) (*Output, error) {
 		Title:   "goodput (req/s) vs input request rate, lv, fixed instances",
 		Columns: append(append([]string{"input rate"}, policy.Comparison()...), "optimal"),
 	}
+	var specs []Spec
+	for _, rate := range rates {
+		for _, pol := range policy.Comparison() {
+			specs = append(specs, Spec{App: "lv", Policy: pol,
+				Opts: RunOpts{SteadyRate: rate, FixedWorkers: fixed}})
+		}
+	}
+	results, err := h.Sweep(specs)
+	if err != nil {
+		return nil, err
+	}
 	var capacity float64
+	i := 0
 	for _, rate := range rates {
 		row := []string{f1(rate)}
 		for _, pol := range policy.Comparison() {
-			res, err := h.Run("lv", "", pol, RunOpts{SteadyRate: rate, FixedWorkers: fixed})
-			if err != nil {
-				return nil, err
-			}
+			res := results[i]
+			i++
 			good := float64(res.Summary.Good) / res.Collector.End().Seconds()
 			row = append(row, f1(good))
 			if pol == "pard" && good > capacity {
@@ -75,14 +85,23 @@ func fig14b(h *Harness) (*Output, error) {
 		Title:   "average drop rate vs SLO, lv-tweet",
 		Columns: append([]string{"SLO"}, policy.Comparison()...),
 	}
+	var specs []Spec
+	for _, slo := range slos {
+		for _, pol := range policy.Comparison() {
+			specs = append(specs, Spec{App: "lv", Kind: trace.Tweet, Policy: pol,
+				Opts: RunOpts{SLOOverride: slo}})
+		}
+	}
+	results, err := h.Sweep(specs)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
 	for _, slo := range slos {
 		row := []string{fmt.Sprintf("%dms", slo.Milliseconds())}
-		for _, pol := range policy.Comparison() {
-			res, err := h.Run("lv", trace.Tweet, pol, RunOpts{SLOOverride: slo})
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, pct(res.Summary.DropRate))
+		for range policy.Comparison() {
+			row = append(row, pct(results[i].Summary.DropRate))
+			i++
 		}
 		t.Rows = append(t.Rows, row)
 	}
@@ -99,14 +118,23 @@ func fig14c(h *Harness) (*Output, error) {
 		Title:   "PARD drop rate vs quantile λ (tweet trace)",
 		Columns: append([]string{"lambda"}, apps...),
 	}
+	var specs []Spec
+	for _, l := range lambdas {
+		for _, app := range apps {
+			specs = append(specs, Spec{App: app, Kind: trace.Tweet, Policy: "pard",
+				Opts: RunOpts{Lambda: l}})
+		}
+	}
+	results, err := h.Sweep(specs)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
 	for _, l := range lambdas {
 		row := []string{f3(l)}
-		for _, app := range apps {
-			res, err := h.Run(app, trace.Tweet, "pard", RunOpts{Lambda: l})
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, pct(res.Summary.DropRate))
+		for range apps {
+			row = append(row, pct(results[i].Summary.DropRate))
+			i++
 		}
 		t.Rows = append(t.Rows, row)
 	}
@@ -124,14 +152,23 @@ func fig14d(h *Harness) (*Output, error) {
 		Title:   "PARD drop rate vs sliding window size, lv",
 		Columns: []string{"window", "wiki", "tweet", "azure"},
 	}
+	var specs []Spec
+	for _, w := range windows {
+		for _, kind := range kinds {
+			specs = append(specs, Spec{App: "lv", Kind: kind, Policy: "pard",
+				Opts: RunOpts{WindowSize: w}})
+		}
+	}
+	results, err := h.Sweep(specs)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
 	for _, w := range windows {
 		row := []string{fmt.Sprintf("%.1fs", w.Seconds())}
-		for _, kind := range kinds {
-			res, err := h.Run("lv", kind, "pard", RunOpts{WindowSize: w})
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, pct(res.Summary.DropRate))
+		for range kinds {
+			row = append(row, pct(results[i].Summary.DropRate))
+			i++
 		}
 		t.Rows = append(t.Rows, row)
 	}

@@ -5,6 +5,7 @@ import (
 
 	"pard/internal/rag"
 	"pard/internal/stats"
+	"pard/internal/sweep"
 	"pard/internal/trace"
 )
 
@@ -37,20 +38,37 @@ func ragQueries(h *Harness) int {
 	}
 }
 
+// ragJob wraps one RAG workflow run as a sweep job: the cache key encodes
+// policy and scale, and the run's RNG stream is the key-derived seed.
+func ragJob(h *Harness, p rag.PolicyKind) sweep.Job[*rag.Result] {
+	queries := ragQueries(h)
+	return sweep.Job[*rag.Result]{
+		Key: fmt.Sprintf("rag|%s|q=%d", p, queries),
+		Run: func(seed int64) (*rag.Result, error) {
+			cfg := rag.DefaultConfig(p)
+			cfg.Queries = queries
+			cfg.Seed = seed
+			return rag.Run(cfg)
+		},
+	}
+}
+
 func fig15a(h *Harness) (*Output, error) {
 	t := Table{
 		ID:      "fig15a",
 		Title:   "RAG TTFT goodput per dropping policy (SLO 5s)",
 		Columns: []string{"policy", "normalized goodput", "drop rate", "drops: rewrite/retrieve/search/generate"},
 	}
-	for _, p := range rag.Policies() {
-		cfg := rag.DefaultConfig(p)
-		cfg.Queries = ragQueries(h)
-		cfg.Seed = h.cfg.Seed
-		res, err := rag.Run(cfg)
-		if err != nil {
-			return nil, err
-		}
+	jobs := make([]sweep.Job[*rag.Result], len(rag.Policies()))
+	for i, p := range rag.Policies() {
+		jobs[i] = ragJob(h, p)
+	}
+	results, err := sweep.All(h.Engine(), jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range rag.Policies() {
+		res := results[i]
 		t.Rows = append(t.Rows, []string{
 			string(p), f3(res.NormalizedGoodput), pct(res.DropRate),
 			fmt.Sprintf("%d/%d/%d/%d", res.DropsPerStage[0], res.DropsPerStage[1],
@@ -63,13 +81,11 @@ func fig15a(h *Harness) (*Output, error) {
 }
 
 func fig15b(h *Harness) (*Output, error) {
-	cfg := rag.DefaultConfig(rag.Proactive)
-	cfg.Queries = ragQueries(h)
-	cfg.Seed = h.cfg.Seed
-	res, err := rag.Run(cfg)
+	results, err := sweep.All(h.Engine(), []sweep.Job[*rag.Result]{ragJob(h, rag.Proactive)})
 	if err != nil {
 		return nil, err
 	}
+	res := results[0]
 	t := Table{
 		ID:      "fig15b",
 		Title:   "RAG per-module latency percentiles (ms)",
@@ -96,15 +112,19 @@ func dagDynamic(h *Harness) (*Output, error) {
 		Title:   "PARD drop rate: static DA vs dynamic-path DA",
 		Columns: []string{"trace", "da (static)", "da-dyn (dynamic)", "increase"},
 	}
-	for _, kind := range []trace.Kind{trace.Wiki, trace.Tweet, trace.Azure} {
-		static, err := h.Run("da", kind, "pard", RunOpts{})
-		if err != nil {
-			return nil, err
+	kinds := []trace.Kind{trace.Wiki, trace.Tweet, trace.Azure}
+	var specs []Spec
+	for _, kind := range kinds {
+		for _, app := range []string{"da", "da-dyn"} {
+			specs = append(specs, Spec{App: app, Kind: kind, Policy: "pard"})
 		}
-		dyn, err := h.Run("da-dyn", kind, "pard", RunOpts{})
-		if err != nil {
-			return nil, err
-		}
+	}
+	results, err := h.Sweep(specs)
+	if err != nil {
+		return nil, err
+	}
+	for i, kind := range kinds {
+		static, dyn := results[2*i], results[2*i+1]
 		inc := "-"
 		if static.Summary.DropRate > 0 {
 			inc = fmt.Sprintf("%+.2fx", dyn.Summary.DropRate/static.Summary.DropRate-1)

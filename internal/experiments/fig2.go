@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"pard/internal/policy"
+	"pard/internal/simgpu"
 	"pard/internal/trace"
 )
 
@@ -46,6 +47,16 @@ func fig2Windows(h *Harness, paper []time.Duration) []time.Duration {
 	return out
 }
 
+// lvTweetComparison sweeps the four headline policies on lv-tweet (the
+// windows in Figs. 2a/2b are applied post-hoc to the same four runs).
+func lvTweetComparison(h *Harness) ([]*simgpu.Result, error) {
+	specs := make([]Spec, 0, len(policy.Comparison()))
+	for _, pol := range policy.Comparison() {
+		specs = append(specs, Spec{App: "lv", Kind: trace.Tweet, Policy: pol})
+	}
+	return h.Sweep(specs)
+}
+
 func fig2a(h *Harness) (*Output, error) {
 	windows := fig2Windows(h, []time.Duration{22 * time.Second, 24 * time.Second, 26 * time.Second})
 	t := Table{
@@ -53,13 +64,13 @@ func fig2a(h *Harness) (*Output, error) {
 		Title:   "min normalized goodput vs window size, lv-tweet",
 		Columns: append([]string{"window"}, policy.Comparison()...),
 	}
+	results, err := lvTweetComparison(h)
+	if err != nil {
+		return nil, err
+	}
 	for _, w := range windows {
 		row := []string{secs(w)}
-		for _, pol := range policy.Comparison() {
-			res, err := h.Run("lv", trace.Tweet, pol, RunOpts{})
-			if err != nil {
-				return nil, err
-			}
+		for _, res := range results {
 			row = append(row, f3(res.Collector.MinNormalizedGoodput(w)))
 		}
 		t.Rows = append(t.Rows, row)
@@ -74,13 +85,13 @@ func fig2b(h *Harness) (*Output, error) {
 		Title:   "drop rate at minimum-goodput window vs window size, lv-tweet",
 		Columns: append([]string{"window"}, policy.Comparison()...),
 	}
+	results, err := lvTweetComparison(h)
+	if err != nil {
+		return nil, err
+	}
 	for _, w := range windows {
 		row := []string{secs(w)}
-		for _, pol := range policy.Comparison() {
-			res, err := h.Run("lv", trace.Tweet, pol, RunOpts{})
-			if err != nil {
-				return nil, err
-			}
+		for _, res := range results {
 			row = append(row, pct(res.Collector.DropRateAtMinGoodput(w)))
 		}
 		t.Rows = append(t.Rows, row)
@@ -102,13 +113,17 @@ func fig2c(h *Harness) (*Output, error) {
 		cols = append(cols, fmt.Sprintf("%s-%s", w.app, w.kind))
 	}
 	t := Table{ID: "fig2c", Title: "percent of drops at each module, reactive (Nexus) policy", Columns: cols}
+	specs := make([]Spec, len(workloads))
+	for i, w := range workloads {
+		specs[i] = Spec{App: w.app, Kind: w.kind, Policy: "nexus"}
+	}
+	results, err := h.Sweep(specs)
+	if err != nil {
+		return nil, err
+	}
 	perWorkload := make([][]float64, len(workloads))
 	maxModules := 0
-	for i, w := range workloads {
-		res, err := h.Run(w.app, w.kind, "nexus", RunOpts{})
-		if err != nil {
-			return nil, err
-		}
+	for i, res := range results {
 		perWorkload[i] = res.Summary.PerModuleDropPct
 		if len(perWorkload[i]) > maxModules {
 			maxModules = len(perWorkload[i])

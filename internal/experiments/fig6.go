@@ -8,7 +8,6 @@ import (
 	"pard/internal/pipeline"
 	"pard/internal/simgpu"
 	"pard/internal/stats"
-	"pard/internal/trace"
 )
 
 func init() {
@@ -25,24 +24,21 @@ func init() {
 // of the aggregated Σd (the worked example in §4.2).
 func fig6(h *Harness) (*Output, error) {
 	spec := pipeline.Uniform("u4", 4, "facerec", 400*time.Millisecond)
-	tr := trace.MustGenerate(trace.Config{
-		Kind:     trace.Steady,
-		Duration: traceDuration(h.cfg.Scale),
-		PeakRate: 200,
-		Seed:     h.cfg.Seed,
-	})
-	res, err := simgpu.Run(simgpu.Config{
-		Spec:       spec,
-		PolicyName: "naive", // no dropping: observe the undisturbed distribution
-		Trace:      tr,
-		Seed:       h.cfg.Seed,
-		Probes:     simgpu.ProbeConfig{Decomposition: true, SampleEvery: 1},
-	})
+	results, err := h.Sweep([]Spec{{
+		Pipeline: spec,
+		Policy:   "naive", // no dropping: observe the undisturbed distribution
+		Opts: RunOpts{
+			SteadyRate: 200,
+			SteadyDur:  traceDuration(h.cfg.Scale),
+			Probes:     simgpu.ProbeConfig{Decomposition: true, SampleEvery: 1},
+		},
+	}})
 	if err != nil {
 		return nil, err
 	}
+	res := results[0]
 
-	rng := rand.New(rand.NewSource(h.cfg.Seed))
+	rng := rand.New(rand.NewSource(h.eng.SeedFor("fig6|convolve")))
 	quant := Table{
 		ID:      "fig6",
 		Title:   "aggregated batch wait from module k to 4: quantiles (fraction of aggregated Σd)",

@@ -30,6 +30,21 @@ func init() {
 	})
 }
 
+// grid12 builds the 12-workload × comparison-policy grid shared by
+// Figs. 8-10 (submitted once; the sweep cache dedupes across figures).
+func grid12() []Spec {
+	pols := policy.Comparison()
+	specs := make([]Spec, 0, len(traces12)*len(apps12)*len(pols))
+	for _, kind := range traces12 {
+		for _, app := range apps12 {
+			for _, pol := range pols {
+				specs = append(specs, Spec{App: app, Kind: kind, Policy: pol})
+			}
+		}
+	}
+	return specs
+}
+
 func fig8(h *Harness) (*Output, error) {
 	drop := Table{
 		ID:      "fig8a",
@@ -41,15 +56,18 @@ func fig8(h *Harness) (*Output, error) {
 		Title:   "average invalid rate (wasted GPU time fraction)",
 		Columns: append([]string{"workload"}, policy.Comparison()...),
 	}
+	results, err := h.Sweep(grid12())
+	if err != nil {
+		return nil, err
+	}
+	i := 0
 	for _, kind := range traces12 {
 		for _, app := range apps12 {
 			dRow := []string{fmt.Sprintf("%s-%s", app, kind)}
 			iRow := []string{fmt.Sprintf("%s-%s", app, kind)}
-			for _, pol := range policy.Comparison() {
-				res, err := h.Run(app, kind, pol, RunOpts{})
-				if err != nil {
-					return nil, err
-				}
+			for range policy.Comparison() {
+				res := results[i]
+				i++
 				dRow = append(dRow, pct(res.Summary.DropRate))
 				iRow = append(iRow, pct(res.Summary.InvalidRate))
 			}
@@ -67,7 +85,12 @@ func fig8(h *Harness) (*Output, error) {
 
 func fig9(h *Harness) (*Output, error) {
 	windows := fig2Windows(h, []time.Duration{22 * time.Second, 24 * time.Second, 26 * time.Second, 28 * time.Second})
+	results, err := h.Sweep(grid12())
+	if err != nil {
+		return nil, err
+	}
 	var tables []Table
+	i := 0
 	for _, kind := range traces12 {
 		for _, app := range apps12 {
 			t := Table{
@@ -75,13 +98,11 @@ func fig9(h *Harness) (*Output, error) {
 				Title:   fmt.Sprintf("max drop rate vs window size, %s-%s", app, kind),
 				Columns: append([]string{"window"}, policy.Comparison()...),
 			}
+			perPol := results[i : i+len(policy.Comparison())]
+			i += len(policy.Comparison())
 			for _, w := range windows {
 				row := []string{secs(w)}
-				for _, pol := range policy.Comparison() {
-					res, err := h.Run(app, kind, pol, RunOpts{})
-					if err != nil {
-						return nil, err
-					}
+				for _, res := range perPol {
 					row = append(row, pct(res.Collector.MaxDropRate(w)))
 				}
 				t.Rows = append(t.Rows, row)
@@ -122,6 +143,11 @@ func fig10(h *Harness) (*Output, error) {
 	}
 
 	// Right panels: normalized goodput timelines.
+	results, err := h.Sweep(grid12())
+	if err != nil {
+		return nil, err
+	}
+	i := 0
 	for _, kind := range traces12 {
 		for _, app := range apps12 {
 			t := Table{
@@ -131,11 +157,9 @@ func fig10(h *Harness) (*Output, error) {
 			}
 			series := make([][]float64, 0, len(policy.Comparison()))
 			var ts []time.Duration
-			for _, pol := range policy.Comparison() {
-				res, err := h.Run(app, kind, pol, RunOpts{})
-				if err != nil {
-					return nil, err
-				}
+			for range policy.Comparison() {
+				res := results[i]
+				i++
 				t2, vs := res.Collector.GoodputSeries(bucket)
 				ts = t2
 				series = append(series, vs)

@@ -1,0 +1,222 @@
+// Package sweep executes independent simulation runs in parallel while
+// preserving sequential semantics: a sweep over a grid of run specs at a
+// fixed base seed produces byte-identical results no matter how many
+// workers execute it (including one).
+//
+// The engine owns three responsibilities that together make parallel
+// fan-out safe for the evaluation harness:
+//
+//   - Determinism: every run and every synthesized trace receives a seed
+//     derived from the base seed plus the artifact's stable cache key
+//     (DeriveSeed), never from scheduling order or shared RNG streams.
+//   - Caching: results and traces are memoized under their cache key with
+//     single-flight semantics, so grid points shared between figures (e.g.
+//     Figs. 8-10 reuse the same 48 runs) compute exactly once even when
+//     requested concurrently.
+//   - Bounded concurrency: at most Workers runs execute at a time
+//     (runtime.NumCPU() by default); results come back in input order with
+//     serialized progress callbacks.
+package sweep
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"time"
+
+	"pard/internal/profile"
+)
+
+// DeriveSeed maps a base seed and a stable key to a distinct per-artifact
+// seed. The derivation is pure (FNV-1a over base and key), so the same
+// (base, key) pair yields the same seed in every process and under any
+// execution order, while different keys get independent RNG streams —
+// grid points no longer share one stream through the base seed.
+func DeriveSeed(base int64, key string) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d\x00%s", base, key)
+	s := int64(h.Sum64() &^ (1 << 63))
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
+
+// Progress reports one executed artifact — a simulation run ("run|…"
+// keys) or a trace synthesis ("trace|…" keys). Callbacks are serialized;
+// Done counts executed artifacts and Total counts unique artifacts
+// discovered so far (both monotone). Cache hits are not work and are
+// never reported.
+type Progress struct {
+	Done    int
+	Total   int
+	Key     string
+	Err     error
+	Elapsed time.Duration
+}
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Workers bounds concurrent runs. <= 0 selects runtime.NumCPU();
+	// 1 gives fully sequential execution.
+	Workers int
+	// BaseSeed is the root of all derived seeds (default 1).
+	BaseSeed int64
+	// TraceDuration is the virtual length of synthesized traces.
+	TraceDuration time.Duration
+	// Library provides model profiles (default profile.DefaultLibrary()).
+	Library *profile.Library
+	// OnProgress, when set, is invoked (serially) after each job finishes.
+	OnProgress func(Progress)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.BaseSeed == 0 {
+		c.BaseSeed = 1
+	}
+	if c.TraceDuration <= 0 {
+		c.TraceDuration = 300 * time.Second
+	}
+	if c.Library == nil {
+		c.Library = profile.DefaultLibrary()
+	}
+	return c
+}
+
+// flight is one in-progress or finished cache entry (single-flight).
+type flight struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// Engine runs jobs on a bounded worker pool with a single-flight cache.
+// All methods are safe for concurrent use.
+type Engine struct {
+	cfg Config
+	sem chan struct{}
+
+	mu    sync.Mutex
+	cache map[string]*flight
+
+	// pmu serializes progress callbacks and guards the counters, separate
+	// from mu so a callback may call back into the engine.
+	pmu       sync.Mutex
+	submitted int
+	finished  int
+}
+
+// New returns an engine for the config.
+func New(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	return &Engine{
+		cfg:   cfg,
+		sem:   make(chan struct{}, cfg.Workers),
+		cache: map[string]*flight{},
+	}
+}
+
+// Config returns the effective engine configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// BaseSeed returns the engine's root seed.
+func (e *Engine) BaseSeed() int64 { return e.cfg.BaseSeed }
+
+// SeedFor derives the stable seed for an artifact key.
+func (e *Engine) SeedFor(key string) int64 { return DeriveSeed(e.cfg.BaseSeed, key) }
+
+// peek returns the existing flight for key, if any, without creating one.
+func (e *Engine) peek(key string) (*flight, bool) {
+	e.mu.Lock()
+	f, ok := e.cache[key]
+	e.mu.Unlock()
+	return f, ok
+}
+
+// Do returns the cached value for key, computing it with fn on first use.
+// fn receives the seed derived from the key; concurrent callers with the
+// same key share a single execution and its result (errors included).
+func (e *Engine) Do(key string, fn func(seed int64) (any, error)) (any, error) {
+	e.mu.Lock()
+	if f, ok := e.cache[key]; ok {
+		e.mu.Unlock()
+		<-f.done
+		return f.val, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	e.cache[key] = f
+	e.mu.Unlock()
+	e.pmu.Lock()
+	e.submitted++
+	e.pmu.Unlock()
+	start := time.Now()
+	f.val, f.err = fn(e.SeedFor(key))
+	close(f.done)
+	e.report(key, f.err, time.Since(start))
+	return f.val, f.err
+}
+
+// Job is one unit of work in a generic sweep: a stable cache key plus the
+// function computing its value from the key-derived seed.
+type Job[T any] struct {
+	Key string
+	Run func(seed int64) (T, error)
+}
+
+// All executes jobs on the engine's bounded pool and returns their values
+// in input order. Duplicate keys (within the batch or versus earlier runs)
+// share one execution through the cache. On failure the first error in
+// input order is returned — independent of scheduling — alongside the
+// partial results.
+func All[T any](e *Engine, jobs []Job[T]) ([]T, error) {
+	out := make([]T, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j Job[T]) {
+			defer wg.Done()
+			var v any
+			var err error
+			if f, ok := e.peek(j.Key); ok {
+				// Already cached or in flight: wait without holding a
+				// worker slot, so duplicate keys don't shrink the pool.
+				<-f.done
+				v, err = f.val, f.err
+			} else {
+				e.sem <- struct{}{}
+				v, err = e.Do(j.Key, func(seed int64) (any, error) { return j.Run(seed) })
+				<-e.sem
+			}
+			if err == nil {
+				out[i] = v.(T)
+			}
+			errs[i] = err
+		}(i, j)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// report delivers one progress callback under the engine lock, keeping
+// callbacks serialized and counters consistent.
+func (e *Engine) report(key string, err error, elapsed time.Duration) {
+	e.pmu.Lock()
+	defer e.pmu.Unlock()
+	e.finished++
+	if e.cfg.OnProgress != nil {
+		e.cfg.OnProgress(Progress{
+			Done: e.finished, Total: e.submitted,
+			Key: key, Err: err, Elapsed: elapsed,
+		})
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"pard/internal/rag"
 	"pard/internal/server"
 	"pard/internal/simgpu"
+	"pard/internal/sweep"
 	"pard/internal/trace"
 )
 
@@ -173,6 +174,28 @@ const (
 	ScaleQuick = experiments.Quick
 	ScaleFull  = experiments.Full
 )
+
+// Parallel sweeps (deterministic fan-out of independent simulations).
+type (
+	// SweepEngine executes grids of runs on a bounded worker pool with a
+	// single-flight cache; results are identical for any worker count.
+	SweepEngine = sweep.Engine
+	// SweepConfig sets workers, base seed and trace duration.
+	SweepConfig = sweep.Config
+	// SweepSpec is one grid point (app, trace kind, policy, options).
+	SweepSpec = sweep.Spec
+	// SweepRunOpts tweaks one run beyond app/trace/policy.
+	SweepRunOpts = sweep.RunOpts
+	// SweepProgress reports one finished run to progress callbacks.
+	SweepProgress = sweep.Progress
+)
+
+// NewSweepEngine builds a parallel sweep engine.
+func NewSweepEngine(cfg SweepConfig) *SweepEngine { return sweep.New(cfg) }
+
+// DeriveSeed maps a base seed and a stable key to a distinct per-artifact
+// seed (pure; independent of execution order).
+func DeriveSeed(base int64, key string) int64 { return sweep.DeriveSeed(base, key) }
 
 // Experiments lists every registered paper artifact.
 func Experiments() []Experiment { return experiments.All() }

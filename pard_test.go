@@ -97,6 +97,33 @@ func TestRunExperimentSmoke(t *testing.T) {
 	}
 }
 
+func TestSweepEngineFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short")
+	}
+	eng := pard.NewSweepEngine(pard.SweepConfig{Workers: 4, BaseSeed: 2, TraceDuration: 30 * time.Second})
+	specs := []pard.SweepSpec{
+		{App: "tm", Kind: pard.Wiki, Policy: "pard"},
+		{App: "tm", Kind: pard.Wiki, Policy: "nexus"},
+		{App: "lv", Kind: pard.Tweet, Policy: "pard"},
+	}
+	results, err := eng.Sweep(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(specs) {
+		t.Fatalf("%d results for %d specs", len(results), len(specs))
+	}
+	for i, res := range results {
+		if res.Summary.Total == 0 {
+			t.Fatalf("spec %d: no requests simulated", i)
+		}
+	}
+	if pard.DeriveSeed(1, "a") == pard.DeriveSeed(1, "b") {
+		t.Fatal("derived seeds collide")
+	}
+}
+
 func TestRunRAG(t *testing.T) {
 	cfg := pard.DefaultRAGConfig(pard.RAGProactive)
 	cfg.Queries = 1000
