@@ -44,6 +44,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	plots := fs.Bool("plot", false, "render ASCII charts for time-series tables")
 	seed := fs.Int64("seed", 1, "random seed")
 	parallel := fs.Int("parallel", 0, "concurrent simulation runs (0 = all CPU cores, 1 = sequential)")
+	cacheDir := fs.String("cache-dir", "", "persist finished runs here so repeated invocations reuse them")
 	progress := fs.Bool("progress", false, "print per-run progress to stderr")
 	list := fs.Bool("list", false, "list experiment IDs and exit")
 	if err := fs.Parse(args); err != nil {
@@ -60,7 +61,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return nil
 	}
 
-	cfg := pard.ExperimentConfig{Scale: pard.ScaleQuick, Seed: *seed, Parallel: *parallel}
+	cfg := pard.ExperimentConfig{Scale: pard.ScaleQuick, Seed: *seed, Parallel: *parallel, CacheDir: *cacheDir}
 	switch *scale {
 	case "smoke":
 		cfg.Scale = pard.ScaleSmoke
@@ -95,6 +96,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	harness := pard.NewExperimentHarness(cfg)
+	if err := harness.Engine().DiskError(); err != nil {
+		return err
+	}
 	start := time.Now()
 	ran := 0
 	for _, e := range pard.Experiments() {
@@ -129,6 +133,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if ran == 0 {
 		return fmt.Errorf("no experiments matched -only=%q", *only)
+	}
+	if *cacheDir != "" {
+		// Cache accounting goes to stderr so artifact output on stdout stays
+		// byte-identical between cold and warm invocations.
+		hits, misses := harness.Engine().DiskStats()
+		fmt.Fprintf(stderr, "cache: %d disk hits, %d misses (%s)\n", hits, misses, *cacheDir)
 	}
 	fmt.Fprintf(stdout, "ran %d experiments in %.1fs (scale=%s seed=%d parallel=%d)\n",
 		ran, time.Since(start).Seconds(), *scale, *seed, *parallel)

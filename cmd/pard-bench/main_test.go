@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -56,6 +57,50 @@ func TestSmokeRun(t *testing.T) {
 	csv, err := filepath.Glob(filepath.Join(dir, "*.csv"))
 	if err != nil || len(csv) == 0 {
 		t.Fatalf("no CSVs written to -out (err=%v)", err)
+	}
+}
+
+// TestCacheDirRoundTrip runs the same artifact twice against one cache
+// directory: the warm invocation must report disk hits and produce
+// byte-identical CSV artifacts without recomputing any simulation.
+func TestCacheDirRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short")
+	}
+	cache := t.TempDir()
+	outs := [2]string{t.TempDir(), t.TempDir()}
+	errbs := [2]bytes.Buffer{}
+	for i := 0; i < 2; i++ {
+		var out bytes.Buffer
+		err := run([]string{"-scale", "smoke", "-only", "fig13", "-parallel", "2",
+			"-out", outs[i], "-cache-dir", cache}, &out, &errbs[i])
+		if err != nil {
+			t.Fatalf("invocation %d: %v", i, err)
+		}
+	}
+	if !strings.Contains(errbs[0].String(), "0 disk hits") {
+		t.Fatalf("cold run claimed disk hits:\n%s", errbs[0].String())
+	}
+	warm := errbs[1].String()
+	if !strings.Contains(warm, "disk hits") || strings.Contains(warm, "0 disk hits") {
+		t.Fatalf("warm run reported no disk hits:\n%s", warm)
+	}
+	csvs, err := filepath.Glob(filepath.Join(outs[0], "*.csv"))
+	if err != nil || len(csvs) == 0 {
+		t.Fatalf("no CSVs from cold run (err=%v)", err)
+	}
+	for _, path := range csvs {
+		cold, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hot, err := os.ReadFile(filepath.Join(outs[1], filepath.Base(path)))
+		if err != nil {
+			t.Fatalf("warm run missing %s: %v", filepath.Base(path), err)
+		}
+		if !bytes.Equal(cold, hot) {
+			t.Fatalf("%s differs between cold and warm runs", filepath.Base(path))
+		}
 	}
 }
 

@@ -1,11 +1,13 @@
-// Command pard-server hosts a pipeline behind HTTP with live PARD
-// scheduling. Model execution is simulated by sleeping profiled durations;
-// everything else (queues, batching, dropping, state sync) is the real
-// scheduler.
+// Command pard-server hosts a pipeline — chain or DAG — behind HTTP with
+// live PARD scheduling. Model execution is simulated by letting batch
+// timers elapse for the profiled durations; everything else (queues,
+// batching, dropping, priority, state sync) is the real scheduler, the same
+// shared core the simulator runs.
 //
 // Usage:
 //
 //	pard-server -app lv -policy pard -addr :8080
+//	pard-server -app da            # the fan-out/merge DAG pipeline
 //	curl -X POST localhost:8080/infer
 //	curl localhost:8080/stats
 package main
@@ -15,12 +17,14 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"sort"
+	"strings"
 
 	"pard"
 )
 
 func main() {
-	app := flag.String("app", "tm", "chain pipeline: tm, lv, gm")
+	app := flag.String("app", "tm", "pipeline: tm, lv, gm, or the DAG da")
 	policyName := flag.String("policy", "pard", "drop policy")
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 2, "workers per module")
@@ -43,16 +47,9 @@ func main() {
 
 // newServer builds (but does not start) the live server for an app name.
 func newServer(app, policyName string, workers int, seed int64) (*pard.Server, *pard.Pipeline, error) {
-	var spec *pard.Pipeline
-	switch app {
-	case "tm":
-		spec = pard.TM()
-	case "lv":
-		spec = pard.LV()
-	case "gm":
-		spec = pard.GM()
-	default:
-		return nil, nil, fmt.Errorf("unknown app %q (live server hosts chain pipelines: tm, lv, gm)", app)
+	spec, ok := pard.Apps()[app]
+	if !ok {
+		return nil, nil, fmt.Errorf("unknown app %q (have %s)", app, strings.Join(appNames(), ", "))
 	}
 
 	ws := make([]int, spec.N())
@@ -69,6 +66,16 @@ func newServer(app, policyName string, workers int, seed int64) (*pard.Server, *
 		return nil, nil, err
 	}
 	return srv, spec, nil
+}
+
+// appNames lists the hostable pipelines in sorted order.
+func appNames() []string {
+	var names []string
+	for name := range pard.Apps() {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 func fatal(err error) {

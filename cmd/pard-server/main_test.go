@@ -12,6 +12,34 @@ func TestUnknownAppRejected(t *testing.T) {
 	}
 }
 
+// TestServeDAGApp pushes one request through the da fan-out/merge pipeline
+// on the live runtime.
+func TestServeDAGApp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short")
+	}
+	srv, spec, err := newServer("da", "pard", 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.IsChain() {
+		t.Fatal("da spec is a chain; want a DAG")
+	}
+	srv.Start()
+	defer srv.Stop()
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/infer", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /infer status %d", resp.StatusCode)
+	}
+}
+
 // TestServeOneRequest starts the live server, pushes one request through
 // the HTTP data plane and reads the stats endpoint.
 func TestServeOneRequest(t *testing.T) {

@@ -1,38 +1,69 @@
-// Live serving demo: hosts the tm pipeline in-process with real goroutine
-// workers (model execution = sleeping profiled durations), fires a burst of
-// HTTP requests at it, and prints the live metrics. This exercises the same
-// scheduler code as the simulator under a wall clock.
+// Live serving demo: hosts one of the paper's pipelines in-process on the
+// shared scheduling core under a wall clock (model execution = batch timers
+// elapsing scaled profiled durations), fires a burst of HTTP requests at
+// it, and prints the live metrics. Chains (tm, lv, gm) and the fan-out/
+// merge DAG (da) all run through the same scheduler code as the simulator.
+//
+//	go run ./examples/liveserver -pipeline da
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"net/http/httptest"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"pard"
 )
 
-func main() {
-	// Scale the models down ~20x so the demo finishes in seconds while
-	// keeping the same shape (three stages, tight SLO).
-	lib := pard.DefaultLibrary()
-	fast, err := pard.LoadLibraryScaled(lib, 0.05)
-	if err != nil {
-		log.Fatal(err)
+// buildServer assembles the demo server for one of the paper's pipelines,
+// scaled ~20x down so the demo finishes in seconds while keeping the same
+// shape (same modules and edges, proportionally tight SLO).
+func buildServer(name string) (*pard.Server, *pard.Pipeline, error) {
+	spec, ok := pard.Apps()[name]
+	if !ok {
+		var names []string
+		for n := range pard.Apps() {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return nil, nil, fmt.Errorf("unknown pipeline %q (want one of %s)", name, strings.Join(names, ", "))
 	}
-	spec := pard.Chain("live-tm", 25*time.Millisecond, 3, "objdet")
+	const scale = 0.05
+	fast, err := pard.LoadLibraryScaled(pard.DefaultLibrary(), scale)
+	if err != nil {
+		return nil, nil, err
+	}
+	spec.SLO = time.Duration(float64(spec.SLO) * scale)
 
+	workers := make([]int, spec.N())
+	for i := range workers {
+		workers[i] = 2
+	}
 	srv, err := pard.NewServer(pard.ServerConfig{
 		Spec:       spec,
 		Lib:        fast,
 		PolicyName: "pard",
-		Workers:    []int{2, 2, 2},
+		Workers:    workers,
 		Seed:       1,
 	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return srv, spec, nil
+}
+
+func main() {
+	pipeline := flag.String("pipeline", "tm", "pipeline to host: tm, lv, gm, or the DAG da")
+	flag.Parse()
+
+	srv, spec, err := buildServer(*pipeline)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -41,7 +72,12 @@ func main() {
 
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
-	fmt.Printf("live server on %s (pipeline %s, SLO %v)\n", ts.URL, spec.App, spec.SLO)
+	shape := "chain"
+	if !spec.IsChain() {
+		shape = "DAG"
+	}
+	fmt.Printf("live server on %s (pipeline %s, %s of %d modules, SLO %v)\n",
+		ts.URL, spec.App, shape, spec.N(), spec.SLO)
 
 	// Fire 200 requests: a steady phase then a burst.
 	var wg sync.WaitGroup

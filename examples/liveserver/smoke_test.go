@@ -1,30 +1,21 @@
 package main
 
 import (
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"testing"
-	"time"
-
-	"pard"
 )
 
-// TestSmoke builds the example's scaled-down live server and pushes one
-// request through its HTTP data plane.
-func TestSmoke(t *testing.T) {
-	lib, err := pard.LoadLibraryScaled(pard.DefaultLibrary(), 0.05)
+// TestSmokeChain builds the example's scaled-down chain server and pushes
+// one request through its HTTP data plane.
+func TestSmokeChain(t *testing.T) {
+	srv, spec, err := buildServer("tm")
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := pard.NewServer(pard.ServerConfig{
-		Spec:       pard.Chain("live-tm", 25*time.Millisecond, 3, "objdet"),
-		Lib:        lib,
-		PolicyName: "pard",
-		Workers:    []int{2, 2, 2},
-		Seed:       1,
-	})
-	if err != nil {
-		t.Fatal(err)
+	if !spec.IsChain() {
+		t.Fatal("tm should be a chain")
 	}
 	srv.Start()
 	defer srv.Stop()
@@ -38,5 +29,50 @@ func TestSmoke(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("POST /infer status %d", resp.StatusCode)
+	}
+}
+
+// TestSmokeDAG exercises the -pipeline da path: the live runtime serves the
+// fan-out/merge DAG end-to-end, resolving each request exactly once.
+func TestSmokeDAG(t *testing.T) {
+	srv, spec, err := buildServer("da")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.IsChain() {
+		t.Fatal("da should be a DAG")
+	}
+	srv.Start()
+	defer srv.Stop()
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	const n = 10
+	for i := 0; i < n; i++ {
+		resp, err := http.Post(ts.URL+"/infer", "application/json", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out struct {
+			ID      uint64 `json:"id"`
+			Outcome string `json:"outcome"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if out.Outcome == "" {
+			t.Fatalf("request %d: empty outcome", i)
+		}
+	}
+	if sum := srv.Summary(); sum.Total != n {
+		t.Fatalf("summary total = %d, want %d (DAG merge double-counted?)", sum.Total, n)
+	}
+}
+
+// TestUnknownPipelineRejected covers the -pipeline flag's error path.
+func TestUnknownPipelineRejected(t *testing.T) {
+	if _, _, err := buildServer("bogus"); err == nil {
+		t.Fatal("unknown pipeline accepted")
 	}
 }

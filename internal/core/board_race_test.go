@@ -1,0 +1,94 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBoardConcurrentPublishGet hammers the shared state board from many
+// goroutines at once — the access pattern the live server creates now that
+// worker timers, sync ticks and HTTP submits share one Board across real
+// threads. Run under -race (CI does) this doubles as the data-race proof;
+// the invariant checked here is that readers only ever observe complete
+// snapshots, never a torn mix of two publishes.
+func TestBoardConcurrentPublishGet(t *testing.T) {
+	const (
+		modules = 4
+		writers = 8 // two writers per module: write-write and read-write races
+		readers = 8
+		rounds  = 2000
+	)
+	b := NewBoard(modules)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Writers publish self-consistent snapshots: every field of round i
+	// derives from i, so a torn read is detectable.
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 1; i <= rounds; i++ {
+				st := ModuleState{
+					QueueDelay:  time.Duration(i) * time.Millisecond,
+					ProfiledDur: time.Duration(i) * time.Microsecond,
+					InputRate:   float64(i),
+					Throughput:  float64(2 * i),
+					BatchWait:   []float64{float64(i), float64(i)},
+					Overloaded:  i%2 == 0,
+				}
+				b.Publish(w%modules, st)
+			}
+		}()
+	}
+
+	errc := make(chan string, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for k := 0; k < modules; k++ {
+					s := b.Get(k)
+					i := int(s.InputRate)
+					if i == 0 {
+						continue // initial zero state
+					}
+					if s.QueueDelay != time.Duration(i)*time.Millisecond ||
+						s.Throughput != float64(2*i) ||
+						len(s.BatchWait) != 2 || s.BatchWait[0] != float64(i) {
+						select {
+						case errc <- "torn snapshot observed":
+						default:
+						}
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	// Let writers finish, then release readers.
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		close(stop)
+	}()
+	<-done
+	select {
+	case msg := <-errc:
+		t.Fatal(msg)
+	default:
+	}
+}

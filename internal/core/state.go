@@ -11,6 +11,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"pard/internal/pipeline"
@@ -46,7 +47,14 @@ type ModuleState struct {
 // synchronization. Readers see the most recently published snapshot per
 // module, which is up to one sync period stale — exactly the information
 // staleness the real system has.
+//
+// Publish and Get are safe for concurrent use: the simulator drives the
+// board single-threaded, but the live server shares it across real
+// goroutines. Snapshots are stored by value, so a reader never observes a
+// partially published state (the BatchWait slice is copied at publish time
+// and treated as immutable thereafter).
 type Board struct {
+	mu     sync.RWMutex
 	states []ModuleState
 }
 
@@ -63,11 +71,18 @@ func (b *Board) N() int { return len(b.states) }
 
 // Publish stores module k's snapshot.
 func (b *Board) Publish(k int, s ModuleState) {
+	b.mu.Lock()
 	b.states[k] = s
+	b.mu.Unlock()
 }
 
 // Get returns module k's last published snapshot.
-func (b *Board) Get(k int) ModuleState { return b.states[k] }
+func (b *Board) Get(k int) ModuleState {
+	b.mu.RLock()
+	s := b.states[k]
+	b.mu.RUnlock()
+	return s
+}
 
 // WaitMode selects how the estimator treats downstream batch wait ΣW.
 type WaitMode int

@@ -70,6 +70,9 @@ type Config struct {
 	Parallel int
 	// OnProgress, when set, receives one callback per finished grid run.
 	OnProgress func(sweep.Progress)
+	// CacheDir, when set, persists finished simulation runs to disk so
+	// repeated invocations reuse finished grid points (see sweep.Config).
+	CacheDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -107,6 +110,7 @@ func NewHarness(cfg Config) *Harness {
 			BaseSeed:      cfg.Seed,
 			TraceDuration: traceDuration(cfg.Scale),
 			OnProgress:    cfg.OnProgress,
+			CacheDir:      cfg.CacheDir,
 		}),
 	}
 }

@@ -12,6 +12,8 @@
 package metrics
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"math"
 	"sort"
@@ -108,6 +110,38 @@ func (c *Collector) Add(r Record) {
 		c.end = r.Send
 	}
 	c.records = append(c.records, r)
+}
+
+// collectorWire is the Collector's serialized form: the raw records plus
+// the constructor inputs; aggregates are rebuilt on decode.
+type collectorWire struct {
+	SLO      time.Duration
+	NModules int
+	Records  []Record
+}
+
+// GobEncode serializes the collector (sweep's on-disk run cache persists
+// whole simulation results).
+func (c *Collector) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(collectorWire{
+		SLO: c.SLO, NModules: c.NModules, Records: c.records,
+	})
+	return buf.Bytes(), err
+}
+
+// GobDecode rebuilds the collector by replaying the serialized records, so
+// the incremental aggregates are always consistent with them.
+func (c *Collector) GobDecode(data []byte) error {
+	var w collectorWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	*c = *NewCollector(w.SLO, w.NModules)
+	for _, r := range w.Records {
+		c.Add(r)
+	}
+	return nil
 }
 
 // Len returns the number of recorded requests.

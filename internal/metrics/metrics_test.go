@@ -1,7 +1,10 @@
 package metrics
 
 import (
+	"bytes"
+	"encoding/gob"
 	"math"
+	"reflect"
 	"testing"
 	"testing/quick"
 	"time"
@@ -324,5 +327,33 @@ func TestPropertyRatesBounded(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestCollectorGobRoundTrip proves the collector survives the sweep disk
+// cache's gob serialization: records, aggregates and derived metrics all
+// match after decode.
+func TestCollectorGobRoundTrip(t *testing.T) {
+	c := NewCollector(100*time.Millisecond, 3)
+	c.Add(Record{Send: 0, Done: 50 * time.Millisecond, Outcome: Good, DropModule: -1, GPUTime: 5 * time.Millisecond})
+	c.Add(Record{Send: 10 * time.Millisecond, Done: 200 * time.Millisecond, Outcome: Late, DropModule: -1, GPUTime: 7 * time.Millisecond})
+	c.Add(Record{Send: 20 * time.Millisecond, Done: 30 * time.Millisecond, Outcome: DroppedOutcome, DropModule: 1, GPUTime: time.Millisecond})
+
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(c); err != nil {
+		t.Fatal(err)
+	}
+	var got Collector
+	if err := gob.NewDecoder(&buf).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Records(), c.Records()) {
+		t.Fatal("records differ after round trip")
+	}
+	if !reflect.DeepEqual(got.Summary(), c.Summary()) {
+		t.Fatalf("summaries differ:\nwant %+v\ngot  %+v", c.Summary(), got.Summary())
+	}
+	if got.End() != c.End() || got.Len() != c.Len() {
+		t.Fatal("end/len differ after round trip")
 	}
 }

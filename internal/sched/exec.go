@@ -1,0 +1,209 @@
+package sched
+
+import (
+	"sync"
+	"time"
+
+	"pard/internal/sim"
+)
+
+// Executor is the small time-and-callback interface the scheduling core is
+// parameterized over. The discrete-event simulator satisfies it with the
+// virtual event-heap clock (SimExecutor); the live server with wall-clock
+// timers (TimerExecutor); deterministic tests with an injected fake clock
+// (ManualExecutor).
+//
+// The core is single-threaded by contract: an Executor must never run two
+// callbacks concurrently. SimExecutor and ManualExecutor are inherently
+// serial; TimerExecutor serializes callbacks through an internal run lock.
+type Executor interface {
+	// Now returns the elapsed time since the start of the run.
+	Now() time.Duration
+	// Schedule registers fn to run at absolute time at (immediately when at
+	// is in the past). fn receives the executor's time at fire.
+	Schedule(at time.Duration, name string, fn func(now time.Duration))
+}
+
+// SimExecutor adapts the discrete-event engine to the Executor interface:
+// callbacks fire in virtual timestamp order, ties broken by schedule order.
+type SimExecutor struct {
+	eng *sim.Engine
+}
+
+// NewSimExecutor wraps a simulation engine.
+func NewSimExecutor(eng *sim.Engine) SimExecutor { return SimExecutor{eng: eng} }
+
+// Now returns the current virtual time.
+func (x SimExecutor) Now() time.Duration { return x.eng.Now() }
+
+// Schedule registers fn on the engine's event heap.
+func (x SimExecutor) Schedule(at time.Duration, name string, fn func(time.Duration)) {
+	x.eng.Schedule(at, name, func(e *sim.Engine) { fn(e.Now()) })
+}
+
+// TimerExecutor runs callbacks on real wall-clock timers. All callbacks are
+// serialized through a run lock, so the single-threaded core sees the same
+// execution model as under the simulator, while timer goroutines provide the
+// real concurrency (batch executions overlap in real time across workers).
+type TimerExecutor struct {
+	clock sim.Clock
+
+	run sync.Mutex // serializes callback execution
+
+	mu      sync.Mutex // guards timers + stopped
+	stopped bool
+	timers  map[*time.Timer]struct{}
+	wg      sync.WaitGroup
+}
+
+// NewTimerExecutor returns an executor anchored at the current instant.
+func NewTimerExecutor() *TimerExecutor {
+	return &TimerExecutor{
+		clock:  sim.NewWallClock(),
+		timers: map[*time.Timer]struct{}{},
+	}
+}
+
+// Now returns the wall-clock time elapsed since construction.
+func (x *TimerExecutor) Now() time.Duration { return x.clock.Now() }
+
+// Schedule arms a timer firing at time at (immediately when in the past).
+// Safe for concurrent use, including from inside callbacks.
+func (x *TimerExecutor) Schedule(at time.Duration, name string, fn func(time.Duration)) {
+	d := at - x.clock.Now()
+	if d < 0 {
+		d = 0
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.stopped {
+		return
+	}
+	x.wg.Add(1)
+	var t *time.Timer
+	t = time.AfterFunc(d, func() {
+		defer x.wg.Done()
+		x.mu.Lock()
+		delete(x.timers, t)
+		stopped := x.stopped
+		x.mu.Unlock()
+		if stopped {
+			return
+		}
+		x.run.Lock()
+		defer x.run.Unlock()
+		fn(x.clock.Now())
+	})
+	x.timers[t] = struct{}{}
+}
+
+// Stop cancels all pending timers and waits for in-flight callbacks to
+// finish. After Stop, Schedule is a no-op.
+func (x *TimerExecutor) Stop() {
+	x.mu.Lock()
+	if x.stopped {
+		x.mu.Unlock()
+		return
+	}
+	x.stopped = true
+	for t := range x.timers {
+		if t.Stop() {
+			// The callback will never run; release its wait slot.
+			x.wg.Done()
+		}
+		delete(x.timers, t)
+	}
+	x.mu.Unlock()
+	x.wg.Wait()
+}
+
+// manualEvent is one pending ManualExecutor callback.
+type manualEvent struct {
+	at   time.Duration
+	seq  int
+	name string
+	fn   func(time.Duration)
+}
+
+// ManualExecutor is a deterministic executor with an injected clock: time
+// advances only when the caller steps it, and due callbacks fire in
+// (timestamp, schedule-order) order — the same contract as the simulator,
+// implemented independently. It stands in for wall-clock time in parity and
+// server tests.
+type ManualExecutor struct {
+	now    time.Duration
+	seq    int
+	events []manualEvent
+}
+
+// NewManualExecutor returns an executor at t = 0 with no pending events.
+func NewManualExecutor() *ManualExecutor { return &ManualExecutor{} }
+
+// Now returns the injected current time.
+func (x *ManualExecutor) Now() time.Duration { return x.now }
+
+// Schedule registers fn at time at (clamped to Now for past times).
+func (x *ManualExecutor) Schedule(at time.Duration, name string, fn func(time.Duration)) {
+	if at < x.now {
+		at = x.now
+	}
+	x.events = append(x.events, manualEvent{at: at, seq: x.seq, name: name, fn: fn})
+	x.seq++
+}
+
+// pop removes and returns the earliest pending event, or false when none.
+func (x *ManualExecutor) pop(limit time.Duration) (manualEvent, bool) {
+	best := -1
+	for i, e := range x.events {
+		if e.at > limit {
+			continue
+		}
+		if best < 0 || e.at < x.events[best].at ||
+			(e.at == x.events[best].at && e.seq < x.events[best].seq) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return manualEvent{}, false
+	}
+	e := x.events[best]
+	x.events = append(x.events[:best], x.events[best+1:]...)
+	return e, true
+}
+
+// RunUntil fires every event due at or before t in order, then advances the
+// clock to t. Callbacks may schedule further events, which fire in the same
+// pass when due.
+func (x *ManualExecutor) RunUntil(t time.Duration) {
+	for {
+		e, ok := x.pop(t)
+		if !ok {
+			break
+		}
+		x.now = e.at
+		e.fn(e.at)
+	}
+	if t > x.now {
+		x.now = t
+	}
+}
+
+// Drain fires all pending events (including ones scheduled while draining)
+// and returns the final time.
+func (x *ManualExecutor) Drain() time.Duration {
+	for len(x.events) > 0 {
+		// Find the max pending timestamp and run up to it; new events may
+		// extend the horizon, hence the loop.
+		max := x.events[0].at
+		for _, e := range x.events {
+			if e.at > max {
+				max = e.at
+			}
+		}
+		x.RunUntil(max)
+	}
+	return x.now
+}
+
+// Pending returns the number of queued events.
+func (x *ManualExecutor) Pending() int { return len(x.events) }

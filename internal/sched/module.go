@@ -1,4 +1,4 @@
-package simgpu
+package sched
 
 import (
 	"time"
@@ -14,7 +14,7 @@ import (
 // module is one pipeline stage: a controller (state windows, dispatcher) and
 // a worker pool.
 type module struct {
-	run   *Runner
+	cl    *Cluster
 	idx   int
 	spec  pipeline.Module
 	model profile.Model
@@ -46,34 +46,34 @@ type module struct {
 	probeCount      int
 }
 
-func newModule(r *Runner, idx int, spec pipeline.Module, model profile.Model, batch int, dur time.Duration, workers int) *module {
+func newModule(c *Cluster, idx int, spec pipeline.Module, model profile.Model, batch int, dur time.Duration, workers int) *module {
 	m := &module{
-		run:         r,
+		cl:          c,
 		idx:         idx,
 		spec:        spec,
 		model:       model,
 		targetBatch: batch,
 		targetDur:   dur,
-		jitter:      r.jitter,
-		qWin:        stats.NewSlidingWindow(r.cfg.QueueWindow),
-		wclWin:      stats.NewSlidingWindow(r.cfg.QueueWindow),
-		waitRes:     stats.NewReservoir(r.cfg.WaitReservoir, r.statRng),
-		rateWin:     stats.NewRateWindow(r.cfg.QueueWindow),
+		jitter:      c.jitter,
+		qWin:        stats.NewSlidingWindow(c.cfg.QueueWindow),
+		wclWin:      stats.NewSlidingWindow(c.cfg.QueueWindow),
+		waitRes:     stats.NewReservoir(c.cfg.WaitReservoir, c.statRng),
+		rateWin:     stats.NewRateWindow(c.cfg.QueueWindow),
 		inWin:       stats.NewRateWindow(2 * time.Second),
 	}
-	if r.cfg.Probes.QueueDelay {
+	if c.cfg.Probes.QueueDelay {
 		m.queueDelayProbe = &metrics.Series{Name: "queue-delay"}
 	}
-	if r.cfg.Probes.LoadFactor {
+	if c.cfg.Probes.LoadFactor {
 		m.loadProbe = &metrics.Series{Name: "load-factor"}
 		m.modeProbe = &metrics.Series{Name: "priority-mode"}
 	}
-	if r.cfg.Probes.Budget {
+	if c.cfg.Probes.Budget {
 		m.budgetProbe = &metrics.Series{Name: "consumed-budget"}
 		m.remainProbe = &metrics.Series{Name: "remaining-budget"}
 	}
-	if r.cfg.Probes.Decomposition {
-		m.waitProbe = stats.NewReservoir(10000, r.statRng)
+	if c.cfg.Probes.Decomposition {
+		m.waitProbe = stats.NewReservoir(10000, c.statRng)
 	}
 	for i := 0; i < workers; i++ {
 		m.addWorker(0, false)
@@ -88,8 +88,8 @@ func (m *module) addWorker(now time.Duration, cold bool) *worker {
 	w := newWorker(m, m.nextWID)
 	m.nextWID++
 	if cold {
-		w.coldUntil = now + m.run.cfg.Scaling.ColdStart
-		m.run.scheduleWarmup(w, w.coldUntil)
+		w.coldUntil = now + m.cl.cfg.Scaling.ColdStart
+		m.cl.scheduleWarmup(w, w.coldUntil)
 	}
 	m.workers = append(m.workers, w)
 	return w
@@ -136,7 +136,7 @@ func (m *module) execDuration(n int) time.Duration {
 	if j <= 0 {
 		return d
 	}
-	f := 1 + (m.run.execRng.Float64()*2-1)*j
+	f := 1 + (m.cl.execRng.Float64()*2-1)*j
 	return time.Duration(float64(d) * f)
 }
 
@@ -164,13 +164,13 @@ func (m *module) receive(r *Request, now time.Duration) {
 	e := entry{req: r, arrive: now}
 	if m.remainProbe != nil {
 		m.probeCount++
-		if m.probeCount%m.run.cfg.Probes.SampleEvery == 0 {
+		if m.probeCount%m.cl.cfg.Probes.SampleEvery == 0 {
 			m.remainProbe.Add(now, float64((r.Deadline - now).Milliseconds()))
 		}
 	}
 	ri := policy.RequestInfo{Send: r.Send, Deadline: r.Deadline, ArriveModule: now}
-	if !m.run.pol.Admit(m.idx, now, ri) {
-		m.run.drop(r, m.idx, now)
+	if !m.cl.pol.Admit(m.idx, now, ri) {
+		m.cl.drop(r, m.idx, now)
 		return
 	}
 	m.dispatch(e, now)
@@ -190,7 +190,7 @@ func (m *module) dispatch(e entry, now time.Duration) {
 	if best == nil {
 		// All workers deactivated (should not happen with MinWorkers >= 1);
 		// drop defensively rather than stranding the request.
-		m.run.drop(e.req, m.idx, now)
+		m.cl.drop(e.req, m.idx, now)
 		return
 	}
 	best.enqueue(e, now)
@@ -252,7 +252,7 @@ func (m *module) probePriority(now time.Duration, board *core.Board) {
 	}
 	m.loadProbe.Add(now, mu)
 	mode := 0.0
-	if pr, ok := m.run.pol.(interface {
+	if pr, ok := m.cl.pol.(interface {
 		Priority(int) *core.PriorityController
 	}); ok {
 		if pc := pr.Priority(m.idx); pc != nil && pc.Mode() == core.HBF {
@@ -265,7 +265,7 @@ func (m *module) probePriority(now time.Duration, board *core.Board) {
 // desiredWorkers computes the scaling engine's per-module demand from the
 // recent input rate.
 func (m *module) desiredWorkers(now time.Duration) int {
-	sc := m.run.cfg.Scaling
+	sc := m.cl.cfg.Scaling
 	rate := m.rateWin.Rate(now)
 	tp := m.model.Throughput(m.targetBatch)
 	desired := int(rate*sc.Headroom/tp) + 1
@@ -332,13 +332,13 @@ func (m *module) crash(now time.Duration, count int) int {
 		w.active = false
 		w.busy = false
 		for _, e := range w.queue.Drain() {
-			m.run.drop(e.req, m.idx, now)
+			m.cl.drop(e.req, m.idx, now)
 		}
 		for _, mem := range w.forming {
-			m.run.drop(mem.e.req, m.idx, now)
+			m.cl.drop(mem.e.req, m.idx, now)
 		}
 		for _, mem := range w.executing {
-			m.run.drop(mem.e.req, m.idx, now)
+			m.cl.drop(mem.e.req, m.idx, now)
 		}
 		w.forming, w.executing = nil, nil
 		killed++

@@ -1,17 +1,4 @@
-// Package simgpu is the serving substrate: a deterministic discrete-event
-// simulation of a GPU inference cluster serving a pipeline (or DAG) of
-// batched DNN modules under a drop policy.
-//
-// It reproduces the architecture of Fig. 4 — a dispatcher and a pool of
-// workers per module, per-worker request queues (FIFO or DEPQ as the policy
-// dictates), batch assembly that collects the next batch as soon as the
-// previous one starts executing (Fig. 3b), a per-module controller that
-// publishes runtime state each sync tick, and a scaling engine with cold
-// starts. Model execution is simulated by profiled durations (see DESIGN.md
-// substitutions): every quantity the dropping policies consume (queueing
-// delay, batch wait, execution duration) is produced by the same lifecycle
-// as the paper's testbed.
-package simgpu
+package sched
 
 import (
 	"time"
@@ -40,6 +27,11 @@ type Request struct {
 	// Completion state.
 	Finished bool
 	DoneAt   time.Duration
+
+	// Payload is opaque host state carried alongside the request (the live
+	// server stores the client's response channel here). The core never
+	// touches it.
+	Payload any
 
 	// ExpectedMerge is how many branch copies the merge module must collect
 	// (1 for exclusive fan-out, fan-out degree otherwise). Zero for chains.

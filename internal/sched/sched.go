@@ -1,0 +1,357 @@
+// Package sched is the shared scheduling core of the Fig. 4 architecture:
+// per-module controllers (state windows, batch dispatcher, priority/drop
+// decisions), worker pools with batch assembly, state-board synchronization,
+// budget accounting, the scaling engine and DAG fan-out/merge routing.
+//
+// The core is parameterized over a small Executor interface (time plus
+// scheduled callbacks), so the same state machine runs in two places:
+//
+//   - the discrete-event simulator (internal/simgpu) instantiates it with
+//     the virtual event-heap clock (SimExecutor over internal/sim), and
+//   - the live server (internal/server) instantiates it with wall-clock
+//     timers and real goroutines (TimerExecutor).
+//
+// Both instantiations exercise the exact same dropping, batching and
+// priority code paths; a parity test in internal/server proves the
+// decisions are identical under virtual and injected wall clocks.
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"pard/internal/core"
+	"pard/internal/metrics"
+	"pard/internal/pipeline"
+	"pard/internal/policy"
+	"pard/internal/profile"
+)
+
+// Config describes one cluster instantiation of the scheduling core.
+type Config struct {
+	// Spec is the validated pipeline (chain or DAG).
+	Spec *pipeline.Spec
+	// Lib provides model profiles; hosts pass their library explicitly
+	// (no default is applied here).
+	Lib *profile.Library
+	// PolicyName selects the drop policy (see policy.Names()).
+	PolicyName string
+	// Seed derives the core's independent random streams (execution jitter,
+	// reservoirs, DAG branch choice, policy internals) exactly as the
+	// simulator always has: seed+1..seed+4.
+	Seed int64
+	// BatchFrac sets the SLO share available for one pass of pure execution
+	// when choosing target batch sizes (default 0.5).
+	BatchFrac float64
+	// Workers is the initial per-module worker count (required).
+	Workers []int
+	// QueueWindow is the sliding window for recent queueing delay
+	// (default 5 s, §4.2 footnote 4).
+	QueueWindow time.Duration
+	// WaitReservoir is the per-module batch-wait sample reservoir size
+	// (default 512).
+	WaitReservoir int
+	// NetDelay is the per-hop transfer delay between modules (>= 0).
+	NetDelay time.Duration
+	// JitterPct multiplies execution durations by 1 ± U[0,JitterPct]
+	// (0 disables jitter unless the model profile carries its own).
+	JitterPct float64
+	// Scaling configures the resource scaling engine; ScaleTick is a no-op
+	// unless Scaling.Enabled.
+	Scaling ScalingConfig
+	// Probes selects optional recordings.
+	Probes ProbeConfig
+	// Lambda overrides the PARD estimator quantile when > 0.
+	Lambda float64
+	// EstimatorSamples overrides the Monte-Carlo sample count when > 0.
+	EstimatorSamples int
+	// PriorityWindow overrides the priority smoothing window when > 0.
+	PriorityWindow time.Duration
+
+	// OnDone, when set, observes each request completing the sink module.
+	OnDone func(req *Request, now time.Duration)
+	// OnDrop, when set, observes each request dropped at a module.
+	OnDrop func(req *Request, module int, now time.Duration)
+}
+
+// Cluster is one instantiated scheduling core: the controller + worker pool
+// per module of Fig. 4, driven by an Executor. All methods must be called
+// from the executor's serial context (or before it starts running).
+type Cluster struct {
+	cfg  Config
+	exec Executor
+	pol  policy.Policy
+
+	modules []*module
+	board   *core.Board
+
+	// Independent deterministic random streams.
+	execRng *rand.Rand // execution jitter
+	statRng *rand.Rand // reservoirs
+	pathRng *rand.Rand // exclusive DAG branch choice
+	jitter  float64
+
+	batches []int
+	durs    []time.Duration
+}
+
+// New validates the configuration and assembles the cluster on the executor.
+func New(cfg Config, exec Executor) (*Cluster, error) {
+	if exec == nil {
+		return nil, fmt.Errorf("sched: nil executor")
+	}
+	if cfg.Spec == nil {
+		return nil, fmt.Errorf("sched: config needs a pipeline spec")
+	}
+	if err := cfg.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Lib == nil {
+		return nil, fmt.Errorf("sched: config needs a profile library")
+	}
+	if cfg.PolicyName == "" {
+		cfg.PolicyName = "pard"
+	}
+	if cfg.BatchFrac <= 0 {
+		cfg.BatchFrac = 0.5
+	}
+	if cfg.QueueWindow <= 0 {
+		cfg.QueueWindow = 5 * time.Second
+	}
+	if cfg.WaitReservoir <= 0 {
+		cfg.WaitReservoir = 512
+	}
+	if cfg.NetDelay < 0 {
+		return nil, fmt.Errorf("sched: negative net delay %v", cfg.NetDelay)
+	}
+	if cfg.Probes.SampleEvery <= 0 {
+		cfg.Probes.SampleEvery = 1
+	}
+	n := cfg.Spec.N()
+	if len(cfg.Workers) != n {
+		return nil, fmt.Errorf("sched: %d worker counts for %d modules", len(cfg.Workers), n)
+	}
+
+	batches, durs, err := TargetBatches(cfg.Spec, cfg.Lib, cfg.BatchFrac)
+	if err != nil {
+		return nil, err
+	}
+
+	c := &Cluster{
+		cfg:     cfg,
+		exec:    exec,
+		board:   core.NewBoard(n),
+		execRng: rand.New(rand.NewSource(cfg.Seed + 1)),
+		statRng: rand.New(rand.NewSource(cfg.Seed + 2)),
+		pathRng: rand.New(rand.NewSource(cfg.Seed + 3)),
+		jitter:  cfg.JitterPct,
+		batches: batches,
+		durs:    durs,
+	}
+
+	estCfg := core.DefaultEstimatorConfig()
+	if cfg.Lambda > 0 {
+		estCfg.Lambda = cfg.Lambda
+	}
+	if cfg.EstimatorSamples > 0 {
+		estCfg.Samples = cfg.EstimatorSamples
+	}
+	priCfg := core.DefaultPriorityConfig()
+	if cfg.PriorityWindow > 0 {
+		priCfg.Window = cfg.PriorityWindow
+	}
+	pol, err := policy.New(cfg.PolicyName, policy.Setup{
+		Spec:   cfg.Spec,
+		Durs:   durs,
+		Rng:    rand.New(rand.NewSource(cfg.Seed + 4)),
+		EstCfg: &estCfg,
+		PriCfg: &priCfg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.pol = pol
+
+	for k := 0; k < n; k++ {
+		model, err := cfg.Lib.Get(cfg.Spec.Modules[k].Name)
+		if err != nil {
+			return nil, err
+		}
+		m := newModule(c, k, cfg.Spec.Modules[k], model, batches[k], durs[k], cfg.Workers[k])
+		c.modules = append(c.modules, m)
+	}
+	return c, nil
+}
+
+// N returns the module count.
+func (c *Cluster) N() int { return len(c.modules) }
+
+// Policy returns the cluster's drop policy.
+func (c *Cluster) Policy() policy.Policy { return c.pol }
+
+// Board returns the shared cross-module state board.
+func (c *Cluster) Board() *core.Board { return c.board }
+
+// TargetBatch returns module k's target batch size.
+func (c *Cluster) TargetBatch(k int) int { return c.batches[k] }
+
+// ProfiledDur returns module k's profiled duration at its target batch.
+func (c *Cluster) ProfiledDur(k int) time.Duration { return c.durs[k] }
+
+// PeakWorkers returns the maximum concurrently active workers seen at
+// module k.
+func (c *Cluster) PeakWorkers(k int) int { return c.modules[k].peakWorkers }
+
+// ActiveWorkers returns module k's current dispatcher-eligible worker count.
+func (c *Cluster) ActiveWorkers(k int) int { return c.modules[k].activeWorkers() }
+
+// Drops returns how many requests module k has dropped.
+func (c *Cluster) Drops(k int) int { return c.modules[k].drops }
+
+// ModuleProbes bundles module k's optional probe outputs (nil / empty unless
+// the corresponding probe was enabled in the config).
+type ModuleProbes struct {
+	QueueDelay  *metrics.Series
+	Load        *metrics.Series
+	Mode        *metrics.Series
+	Budget      *metrics.Series
+	Remain      *metrics.Series
+	WaitSamples []float64
+}
+
+// Probes returns module k's probe outputs.
+func (c *Cluster) Probes(k int) ModuleProbes {
+	m := c.modules[k]
+	p := ModuleProbes{
+		QueueDelay: m.queueDelayProbe,
+		Load:       m.loadProbe,
+		Mode:       m.modeProbe,
+		Budget:     m.budgetProbe,
+		Remain:     m.remainProbe,
+	}
+	if m.waitProbe != nil {
+		p.WaitSamples = append([]float64(nil), m.waitProbe.Values()...)
+	}
+	return p
+}
+
+// Inject schedules the request's arrival at the source module, one network
+// hop after sendAt. The caller owns the Request's identity fields (ID, Send,
+// Deadline, DropModule).
+func (c *Cluster) Inject(req *Request, sendAt time.Duration) {
+	src := c.modules[c.cfg.Spec.Source()]
+	c.exec.Schedule(sendAt+c.cfg.NetDelay, "arrive", func(now time.Duration) {
+		src.receive(req, now)
+	})
+}
+
+// SyncTick runs one state-synchronization round (§4.1 steps ①-③): every
+// module publishes its snapshot, the policy refreshes from the board, and
+// priority probes record the outcome.
+func (c *Cluster) SyncTick(now time.Duration) {
+	for _, m := range c.modules {
+		m.publish(now, c.board)
+	}
+	c.pol.OnSync(now, c.board)
+	for _, m := range c.modules {
+		m.probePriority(now, c.board)
+	}
+}
+
+// ScaleTick runs one scaling-engine round: per-module demand from recent
+// input rates, granted proportionally under a TotalGPUs budget. No-op when
+// scaling is disabled.
+func (c *Cluster) ScaleTick(now time.Duration) {
+	if !c.cfg.Scaling.Enabled {
+		return
+	}
+	desired := make([]int, len(c.modules))
+	for k, m := range c.modules {
+		desired[k] = m.desiredWorkers(now)
+	}
+	ApplyGPUBudget(desired, c.cfg.Scaling.TotalGPUs, c.cfg.Scaling.MinWorkers)
+	for k, m := range c.modules {
+		m.applyScale(now, desired[k])
+	}
+}
+
+// Crash kills up to count active workers of module k (§2 machine failure),
+// returning how many actually died.
+func (c *Cluster) Crash(k int, now time.Duration, count int) int {
+	return c.modules[k].crash(now, count)
+}
+
+// scheduleBatchEnd registers the batch-completion event.
+func (c *Cluster) scheduleBatchEnd(w *worker, at time.Duration) {
+	c.exec.Schedule(at, "batch-end", func(now time.Duration) { w.batchEnd(now) })
+}
+
+// scheduleWarmup wakes a cold-started worker.
+func (c *Cluster) scheduleWarmup(w *worker, at time.Duration) {
+	c.exec.Schedule(at, "warmup", func(now time.Duration) { w.pump(now) })
+}
+
+// drop marks a request dropped at module k and notifies the host.
+func (c *Cluster) drop(req *Request, k int, now time.Duration) {
+	if req.Dropped || req.Finished {
+		return
+	}
+	req.Dropped = true
+	req.DropModule = k
+	req.DropAt = now
+	c.modules[k].drops++
+	if c.cfg.OnDrop != nil {
+		c.cfg.OnDrop(req, k, now)
+	}
+}
+
+// forward routes a request leaving module k: split to successors, merge at
+// fan-in, or complete at the sink.
+func (c *Cluster) forward(req *Request, k int, now time.Duration) {
+	mod := c.cfg.Spec.Modules[k]
+	if len(mod.Subs) == 0 {
+		c.complete(req, now)
+		return
+	}
+	subs := mod.Subs
+	if mod.Exclusive {
+		subs = []int{mod.Subs[c.pickBranch(mod)]}
+		req.ExpectedMerge = 1
+	} else if len(subs) > 1 {
+		req.ExpectedMerge = len(subs)
+	}
+	arrive := now + c.cfg.NetDelay
+	for _, sub := range subs {
+		target := c.modules[sub]
+		c.exec.Schedule(arrive, "hop", func(now time.Duration) { target.receive(req, now) })
+	}
+}
+
+// pickBranch selects one successor index for an exclusive fan-out.
+func (c *Cluster) pickBranch(mod pipeline.Module) int {
+	if len(mod.BranchProb) == 0 {
+		return c.pathRng.Intn(len(mod.Subs))
+	}
+	x := c.pathRng.Float64()
+	acc := 0.0
+	for i, p := range mod.BranchProb {
+		acc += p
+		if x < acc {
+			return i
+		}
+	}
+	return len(mod.Subs) - 1
+}
+
+// complete finalizes a request that finished the sink module.
+func (c *Cluster) complete(req *Request, now time.Duration) {
+	if req.Dropped || req.Finished {
+		return
+	}
+	req.Finished = true
+	req.DoneAt = now
+	if c.cfg.OnDone != nil {
+		c.cfg.OnDone(req, now)
+	}
+}

@@ -1,4 +1,4 @@
-package simgpu
+package sched
 
 import (
 	"time"
@@ -15,7 +15,9 @@ type batchMember struct {
 	q  time.Duration // queueing delay Q_k = t_b − t_r
 }
 
-// worker simulates one GPU container serving a module.
+// worker is one GPU container serving a module. Under the simulator it is a
+// simulated machine; under the live server its batch executions occupy real
+// wall-clock timers.
 type worker struct {
 	mod *module
 	id  int
@@ -36,7 +38,7 @@ type worker struct {
 
 func newWorker(m *module, id int) *worker {
 	w := &worker{mod: m, id: id, active: true}
-	if m.run.pol.Queue() == policy.KindDEPQ {
+	if m.cl.pol.Queue() == policy.KindDEPQ {
 		w.queue = depq.New[entry]()
 	} else {
 		w.queue = depq.NewFIFO[entry]()
@@ -81,7 +83,7 @@ func (w *worker) fill(now, te time.Duration) {
 	for len(w.forming) < m.targetBatch && w.queue.Len() > 0 {
 		var e entry
 		var ok bool
-		if m.run.pol.PopEnd(m.idx) == policy.MaxEnd {
+		if m.cl.pol.PopEnd(m.idx) == policy.MaxEnd {
 			e, _, ok = w.queue.PopMax()
 		} else {
 			e, _, ok = w.queue.PopMin()
@@ -102,10 +104,10 @@ func (w *worker) fill(now, te time.Duration) {
 			Now:           now,
 			ExpectedStart: te,
 			ExecDur:       m.targetDur,
-			SLO:           m.run.cfg.Spec.SLO,
+			SLO:           m.cl.cfg.Spec.SLO,
 		}
-		if !m.run.pol.Decide(ctx) {
-			m.run.drop(e.req, m.idx, now)
+		if !m.cl.pol.Decide(ctx) {
+			m.cl.drop(e.req, m.idx, now)
 			continue
 		}
 		w.forming = append(w.forming, batchMember{e: e, tb: now, q: now - e.arrive})
@@ -130,7 +132,7 @@ func (w *worker) startBatch(now time.Duration) {
 		mem := &w.executing[i]
 		m.observe(mem.q, now-mem.tb, w.execDur, now)
 	}
-	m.run.scheduleBatchEnd(w, w.execEnd)
+	m.cl.scheduleBatchEnd(w, w.execEnd)
 
 	// Collect the next batch while this one executes.
 	w.fill(now, w.execEnd)
@@ -161,7 +163,7 @@ func (w *worker) batchEnd(now time.Duration) {
 			if mem.e.retired() {
 				continue // executed alongside, but the request is already dead
 			}
-			m.run.forward(r, m.idx, now)
+			m.cl.forward(r, m.idx, now)
 		}
 	}
 

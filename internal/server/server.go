@@ -1,11 +1,15 @@
-// Package server is the wall-clock serving runtime: the same controller /
-// worker / policy architecture as the simulator (Fig. 4), but with real
-// goroutine workers, mutex-guarded queues and an HTTP data plane. Model
-// execution is simulated by sleeping the profiled duration — the scheduler
-// code paths (queueing, batching, dropping, state sync) are the real thing.
+// Package server is the wall-clock serving runtime: a thin shell over the
+// shared scheduling core (internal/sched) — the same controller / worker /
+// policy state machine the discrete-event simulator runs — instantiated
+// with wall-clock timers and an HTTP data plane. Model execution is
+// simulated by letting batch timers elapse for the profiled duration; the
+// scheduler code paths (queueing, batching, dropping, priority, state sync)
+// are literally the simulator's, byte for byte.
 //
-// The live runtime serves chain pipelines; DAG pipelines are supported by
-// the discrete-event simulator (internal/simgpu), which the experiments use.
+// The live runtime serves any validated pipeline, chains and DAGs alike:
+// fan-out dispatches a request copy to every successor, fan-in merges when
+// all expected branch copies arrive, with the same join semantics as the
+// simulator (end-to-end latency is the maximum over paths).
 package server
 
 import (
@@ -15,15 +19,10 @@ import (
 	"sync"
 	"time"
 
-	"pard/internal/core"
-	"pard/internal/depq"
 	"pard/internal/metrics"
 	"pard/internal/pipeline"
-	"pard/internal/policy"
 	"pard/internal/profile"
-	"pard/internal/sim"
-	"pard/internal/simgpu"
-	"pard/internal/stats"
+	"pard/internal/sched"
 )
 
 // Config describes a live serving deployment.
@@ -39,8 +38,23 @@ type Config struct {
 	SyncPeriod time.Duration
 	// BatchFrac as in the simulator (default 0.5).
 	BatchFrac float64
-	// Seed drives the policy's random streams.
+	// NetDelay is the per-hop transfer delay between modules (default 0:
+	// in-process hops are immediate).
+	NetDelay time.Duration
+	// JitterPct adds execution-duration jitter as in the simulator
+	// (default 0: live batches take exactly the profiled duration).
+	JitterPct float64
+	// Seed drives the core's deterministic random streams.
 	Seed int64
+	// Scaling optionally enables the autoscaling engine (zero = fixed
+	// worker counts).
+	Scaling sched.ScalingConfig
+	// Probes selects optional core recordings (diagnostics and tests).
+	Probes sched.ProbeConfig
+	// Exec overrides the executor driving the core. Nil selects wall-clock
+	// timers; tests inject a deterministic executor (sched.ManualExecutor)
+	// to replay workloads reproducibly.
+	Exec sched.Executor
 }
 
 // Outcome is the terminal state of a live request.
@@ -62,61 +76,28 @@ type Response struct {
 	DropModule int `json:"drop_module,omitempty"`
 }
 
-type liveReq struct {
-	id       uint64
-	send     time.Duration
-	deadline time.Duration
-	arrive   time.Duration
-	done     chan Response
-}
-
-type liveWorker struct {
-	mod    *liveModule
-	queue  depq.Queue[*liveReq]
-	wake   chan struct{}
-	closed bool
-}
-
-type liveModule struct {
-	srv         *Server
-	idx         int
-	model       profile.Model
-	targetBatch int
-	targetDur   time.Duration
-	workers     []*liveWorker
-	next        int // round-robin dispatch cursor
-
-	qWin    *stats.SlidingWindow
-	waitRes *stats.Reservoir
-	rateWin *stats.RateWindow
-}
-
-// Server hosts one pipeline.
+// Server hosts one pipeline on the shared scheduling core.
 type Server struct {
-	cfg   Config
-	clock sim.Clock
+	cfg  Config
+	exec sched.Executor
+	wall *sched.TimerExecutor // owned executor, nil when injected
+	cl   *sched.Cluster
 
 	mu      sync.Mutex
-	pol     policy.Policy
-	board   *core.Board
-	modules []*liveModule
 	col     *metrics.Collector
 	nextID  uint64
+	started bool
 	stopped bool
-	stopCh  chan struct{}
-	wg      sync.WaitGroup
 }
 
-// New validates the config and builds (but does not start) a server.
+// New validates the config and builds (but does not start) a server for any
+// validated pipeline spec — chain or DAG.
 func New(cfg Config) (*Server, error) {
 	if cfg.Spec == nil {
 		return nil, fmt.Errorf("server: config needs a pipeline spec")
 	}
 	if err := cfg.Spec.Validate(); err != nil {
 		return nil, err
-	}
-	if !cfg.Spec.IsChain() {
-		return nil, fmt.Errorf("server: live runtime serves chain pipelines; use the simulator for DAGs")
 	}
 	if cfg.Lib == nil {
 		cfg.Lib = profile.DefaultLibrary()
@@ -140,68 +121,80 @@ func New(cfg Config) (*Server, error) {
 	if len(cfg.Workers) != n {
 		return nil, fmt.Errorf("server: %d worker counts for %d modules", len(cfg.Workers), n)
 	}
-	batches, durs, err := simgpu.TargetBatches(cfg.Spec, cfg.Lib, cfg.BatchFrac)
-	if err != nil {
-		return nil, err
-	}
-	pol, err := policy.New(cfg.PolicyName, policy.Setup{
-		Spec: cfg.Spec,
-		Durs: durs,
-		Rng:  newRand(cfg.Seed),
-	})
-	if err != nil {
-		return nil, err
-	}
+
 	s := &Server{
-		cfg:    cfg,
-		clock:  sim.NewWallClock(),
-		pol:    pol,
-		board:  core.NewBoard(n),
-		col:    metrics.NewCollector(cfg.Spec.SLO, n),
-		stopCh: make(chan struct{}),
+		cfg: cfg,
+		col: metrics.NewCollector(cfg.Spec.SLO, n),
 	}
-	for k := 0; k < n; k++ {
-		model, err := cfg.Lib.Get(cfg.Spec.Modules[k].Name)
-		if err != nil {
-			return nil, err
-		}
-		m := &liveModule{
-			srv:         s,
-			idx:         k,
-			model:       model,
-			targetBatch: batches[k],
-			targetDur:   durs[k],
-			qWin:        stats.NewSlidingWindow(5 * time.Second),
-			waitRes:     stats.NewReservoir(256, newRand(cfg.Seed+int64(k)+10)),
-			rateWin:     stats.NewRateWindow(5 * time.Second),
-		}
-		for w := 0; w < cfg.Workers[k]; w++ {
-			lw := &liveWorker{mod: m, wake: make(chan struct{}, 1)}
-			if pol.Queue() == policy.KindDEPQ {
-				lw.queue = depq.New[*liveReq]()
-			} else {
-				lw.queue = depq.NewFIFO[*liveReq]()
-			}
-			m.workers = append(m.workers, lw)
-		}
-		s.modules = append(s.modules, m)
+	if cfg.Exec != nil {
+		s.exec = cfg.Exec
+	} else {
+		s.wall = sched.NewTimerExecutor()
+		s.exec = s.wall
 	}
+	cl, err := sched.New(sched.Config{
+		Spec:       cfg.Spec,
+		Lib:        cfg.Lib,
+		PolicyName: cfg.PolicyName,
+		Seed:       cfg.Seed,
+		BatchFrac:  cfg.BatchFrac,
+		Workers:    cfg.Workers,
+		NetDelay:   cfg.NetDelay,
+		JitterPct:  cfg.JitterPct,
+		Scaling:    cfg.Scaling,
+		Probes:     cfg.Probes,
+		OnDone:     s.onDone,
+		OnDrop:     s.onDrop,
+	}, s.exec)
+	if err != nil {
+		if s.wall != nil {
+			s.wall.Stop()
+		}
+		return nil, err
+	}
+	s.cl = cl
 	return s, nil
 }
 
-// Start launches worker and sync goroutines.
+// Start launches the periodic state-synchronization (and, when enabled,
+// scaling) loops on the executor.
 func (s *Server) Start() {
-	for _, m := range s.modules {
-		for _, w := range m.workers {
-			s.wg.Add(1)
-			go s.workerLoop(w)
-		}
+	s.mu.Lock()
+	if s.started || s.stopped {
+		s.mu.Unlock()
+		return
 	}
-	s.wg.Add(1)
-	go s.syncLoop()
+	s.started = true
+	s.mu.Unlock()
+
+	s.every(s.cfg.SyncPeriod, "sync", s.cl.SyncTick)
+	if s.cfg.Scaling.Enabled {
+		s.every(s.cfg.Scaling.Period, "scale", s.cl.ScaleTick)
+	}
 }
 
-// Stop terminates all goroutines; queued requests are dropped.
+// every runs fn on the executor each period until the server stops.
+func (s *Server) every(period time.Duration, name string, fn func(now time.Duration)) {
+	var tick func(now time.Duration)
+	tick = func(now time.Duration) {
+		if s.isStopped() {
+			return
+		}
+		fn(now)
+		s.exec.Schedule(now+period, name, tick)
+	}
+	s.exec.Schedule(s.exec.Now()+period, name, tick)
+}
+
+func (s *Server) isStopped() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stopped
+}
+
+// Stop cancels all pending timers and waits for in-flight callbacks.
+// Requests still queued inside the core receive no response (the HTTP
+// handler's stall timeout covers abandoned clients).
 func (s *Server) Stop() {
 	s.mu.Lock()
 	if s.stopped {
@@ -209,66 +202,59 @@ func (s *Server) Stop() {
 		return
 	}
 	s.stopped = true
-	close(s.stopCh)
-	for _, m := range s.modules {
-		for _, w := range m.workers {
-			w.closed = true
-			select {
-			case w.wake <- struct{}{}:
-			default:
-			}
-		}
-	}
 	s.mu.Unlock()
-	s.wg.Wait()
+	if s.wall != nil {
+		s.wall.Stop()
+	}
 }
 
 // Submit enqueues one request and returns a channel delivering its outcome.
+// After Stop the channel resolves immediately as dropped.
 func (s *Server) Submit() <-chan Response {
-	now := s.clock.Now()
+	done := make(chan Response, 1)
+	now := s.exec.Now()
+	// Hold the lock across Inject so Stop cannot interleave between the
+	// stopped check and arming the arrival: a submit either resolves
+	// immediately (stopped) or is injected before Stop begins. Inject only
+	// arms a callback — core work happens on the executor, never here.
 	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		done <- Response{Outcome: OutcomeDropped}
+		return done
+	}
 	id := s.nextID
 	s.nextID++
-	req := &liveReq{
-		id:       id,
-		send:     now,
-		deadline: now + s.cfg.Spec.SLO,
-		done:     make(chan Response, 1),
+	req := &sched.Request{
+		ID:         id,
+		Send:       now,
+		Deadline:   now + s.cfg.Spec.SLO,
+		DropModule: -1,
+		Payload:    done,
 	}
-	s.enqueueLocked(req, 0, now)
+	s.cl.Inject(req, now)
 	s.mu.Unlock()
-	return req.done
+	return done
 }
 
-// enqueueLocked routes a request into module k. Caller holds s.mu.
-func (s *Server) enqueueLocked(req *liveReq, k int, now time.Duration) {
-	m := s.modules[k]
-	m.rateWin.Observe(now)
-	req.arrive = now
-	ri := policy.RequestInfo{Send: req.send, Deadline: req.deadline, ArriveModule: now}
-	if !s.pol.Admit(k, now, ri) {
-		s.finishLocked(req, Response{ID: req.id, Outcome: OutcomeDropped, DropModule: k}, now, k)
-		return
+// onDone resolves a request that completed the sink module.
+func (s *Server) onDone(req *sched.Request, now time.Duration) {
+	out := OutcomeGood
+	if now > req.Deadline {
+		out = OutcomeLate
 	}
-	// Round-robin over workers with the shortest queue.
-	best := m.workers[m.next%len(m.workers)]
-	m.next++
-	for _, w := range m.workers {
-		if w.queue.Len() < best.queue.Len() {
-			best = w
-		}
-	}
-	best.queue.Push(req, int64(req.deadline))
-	select {
-	case best.wake <- struct{}{}:
-	default:
-	}
+	s.finish(req, Response{ID: req.ID, Outcome: out}, now, -1)
 }
 
-// finishLocked records a terminal outcome. Caller holds s.mu.
-func (s *Server) finishLocked(req *liveReq, resp Response, now time.Duration, dropModule int) {
-	resp.LatencyMS = float64((now - req.send).Microseconds()) / 1000
-	rec := metrics.Record{Send: req.send, Done: now, DropModule: -1}
+// onDrop resolves a request the policy dropped at module k.
+func (s *Server) onDrop(req *sched.Request, k int, now time.Duration) {
+	s.finish(req, Response{ID: req.ID, Outcome: OutcomeDropped, DropModule: k}, now, k)
+}
+
+// finish records a terminal outcome and delivers the client response.
+func (s *Server) finish(req *sched.Request, resp Response, now time.Duration, dropModule int) {
+	resp.LatencyMS = float64((now - req.Send).Microseconds()) / 1000
+	rec := metrics.Record{Send: req.Send, Done: now, GPUTime: req.GPU, DropModule: -1}
 	switch resp.Outcome {
 	case OutcomeGood:
 		rec.Outcome = metrics.Good
@@ -278,117 +264,10 @@ func (s *Server) finishLocked(req *liveReq, resp Response, now time.Duration, dr
 		rec.Outcome = metrics.DroppedOutcome
 		rec.DropModule = dropModule
 	}
+	s.mu.Lock()
 	s.col.Add(rec)
-	req.done <- resp
-}
-
-// workerLoop is one GPU worker: form a batch under the lock, sleep the
-// profiled duration, forward downstream.
-func (s *Server) workerLoop(w *liveWorker) {
-	defer s.wg.Done()
-	m := w.mod
-	for {
-		select {
-		case <-s.stopCh:
-			return
-		case <-w.wake:
-		}
-		for {
-			now := s.clock.Now()
-			s.mu.Lock()
-			if s.stopped {
-				s.mu.Unlock()
-				return
-			}
-			batch := s.formBatchLocked(w, now)
-			s.mu.Unlock()
-			if len(batch) == 0 {
-				break // wait for the next wake-up
-			}
-			dur := m.model.Duration(len(batch))
-			time.Sleep(dur)
-			end := s.clock.Now()
-			s.mu.Lock()
-			for _, req := range batch {
-				if m.idx == len(s.modules)-1 {
-					out := OutcomeGood
-					if end > req.deadline {
-						out = OutcomeLate
-					}
-					s.finishLocked(req, Response{ID: req.id, Outcome: out}, end, -1)
-					continue
-				}
-				s.enqueueLocked(req, m.idx+1, end)
-			}
-			s.mu.Unlock()
-		}
-	}
-}
-
-// formBatchLocked pops up to the target batch size, applying the drop
-// policy per request. Caller holds s.mu.
-func (s *Server) formBatchLocked(w *liveWorker, now time.Duration) []*liveReq {
-	m := w.mod
-	var batch []*liveReq
-	for len(batch) < m.targetBatch && w.queue.Len() > 0 {
-		var req *liveReq
-		var ok bool
-		if s.pol.PopEnd(m.idx) == policy.MaxEnd {
-			req, _, ok = w.queue.PopMax()
-		} else {
-			req, _, ok = w.queue.PopMin()
-		}
-		if !ok {
-			break
-		}
-		q := now - req.arrive
-		ctx := policy.DecideCtx{
-			Req:           policy.RequestInfo{Send: req.send, Deadline: req.deadline, ArriveModule: req.arrive},
-			Module:        m.idx,
-			Now:           now,
-			ExpectedStart: now,
-			ExecDur:       m.targetDur,
-			SLO:           s.cfg.Spec.SLO,
-		}
-		if !s.pol.Decide(ctx) {
-			s.finishLocked(req, Response{ID: req.id, Outcome: OutcomeDropped, DropModule: m.idx}, now, m.idx)
-			continue
-		}
-		m.qWin.Add(now, q.Seconds())
-		m.waitRes.Add(0) // live runtime executes formed batches immediately
-		batch = append(batch, req)
-	}
-	return batch
-}
-
-// syncLoop publishes module state and refreshes the policy periodically.
-func (s *Server) syncLoop() {
-	defer s.wg.Done()
-	ticker := time.NewTicker(s.cfg.SyncPeriod)
-	defer ticker.Stop()
-	for {
-		select {
-		case <-s.stopCh:
-			return
-		case <-ticker.C:
-		}
-		now := s.clock.Now()
-		s.mu.Lock()
-		for _, m := range s.modules {
-			qMean, _ := m.qWin.Mean(now)
-			st := core.ModuleState{
-				QueueDelay:  time.Duration(qMean * float64(time.Second)),
-				ProfiledDur: m.targetDur,
-				BatchWait:   append([]float64(nil), m.waitRes.Values()...),
-				InputRate:   m.rateWin.Rate(now),
-				Throughput:  float64(len(m.workers)) * m.model.Throughput(m.targetBatch),
-			}
-			st.Overloaded = st.QueueDelay > 20*time.Millisecond
-			s.board.Publish(m.idx, st)
-		}
-		s.pol.OnSync(now, s.board)
-		s.mu.Unlock()
-	}
+	s.mu.Unlock()
+	req.Payload.(chan Response) <- resp
 }
 
 // Summary returns the live metrics snapshot.

@@ -51,8 +51,8 @@ func TestNewValidation(t *testing.T) {
 	if _, err := New(Config{}); err == nil {
 		t.Fatal("nil spec accepted")
 	}
-	if _, err := New(Config{Spec: pipeline.DA()}); err == nil {
-		t.Fatal("DAG accepted by live runtime")
+	if _, err := New(Config{Spec: pipeline.DA()}); err != nil {
+		t.Fatalf("DAG rejected by live runtime: %v", err)
 	}
 	spec := pipeline.Uniform("x", 2, "fast", time.Second)
 	if _, err := New(Config{Spec: spec, Lib: fastLib(t), Workers: []int{1}}); err == nil {
@@ -189,6 +189,75 @@ func TestHTTPEndpoints(t *testing.T) {
 	resp.Body.Close()
 	if sum["Total"].(float64) < 1 {
 		t.Fatalf("stats total = %v", sum["Total"])
+	}
+}
+
+// dagSpec builds a DA-shaped diamond (fan-out at 0, merge at 3) over the
+// fast test model.
+func dagSpec(slo time.Duration) *pipeline.Spec {
+	s := &pipeline.Spec{
+		App: "dag-live",
+		SLO: slo,
+		Modules: []pipeline.Module{
+			{ID: 0, Name: "fast", Subs: []int{1, 2}},
+			{ID: 1, Name: "fast", Pres: []int{0}, Subs: []int{3}},
+			{ID: 2, Name: "fast", Pres: []int{0}, Subs: []int{3}},
+			{ID: 3, Name: "fast", Pres: []int{1, 2}, Subs: []int{4}},
+			{ID: 4, Name: "fast", Pres: []int{3}},
+		},
+	}
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// TestServeDAG pushes live traffic through a fan-out/merge pipeline: every
+// request must resolve exactly once (the merge collects both branch copies)
+// and light load must mostly succeed end-to-end.
+func TestServeDAG(t *testing.T) {
+	s, err := New(Config{
+		Spec:       dagSpec(200 * time.Millisecond),
+		Lib:        fastLib(t),
+		PolicyName: "pard",
+		SyncPeriod: 20 * time.Millisecond,
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer s.Stop()
+
+	var wg sync.WaitGroup
+	results := make([]Response, 40)
+	for i := 0; i < 40; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i] = <-s.Submit()
+		}()
+		time.Sleep(time.Millisecond)
+	}
+	wg.Wait()
+
+	// The load is light, but this runs on real timers: a loaded CI machine
+	// can legitimately push requests past the SLO, so assert the DAG
+	// invariants (every request resolves exactly once, service happens)
+	// rather than a timing-sensitive success rate. Decision-level behavior
+	// is covered deterministically by the parity test.
+	good := 0
+	for _, r := range results {
+		if r.Outcome == OutcomeGood {
+			good++
+		}
+	}
+	if good == 0 {
+		t.Fatalf("no request survived the live DAG: %+v", results)
+	}
+	if sum := s.Summary(); sum.Total != 40 {
+		t.Fatalf("summary total = %d, want 40 (merge double-counted?)", sum.Total)
 	}
 }
 

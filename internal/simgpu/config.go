@@ -2,65 +2,47 @@ package simgpu
 
 import (
 	"fmt"
-	"math"
 	"time"
 
 	"pard/internal/pipeline"
 	"pard/internal/profile"
+	"pard/internal/sched"
 	"pard/internal/trace"
 )
 
-// ScalingConfig controls the per-module resource scaling engine.
-type ScalingConfig struct {
-	// Enabled turns autoscaling on. When off, worker counts stay at their
-	// initial provisioning (the Fig. 14a stress-test setup).
-	Enabled bool
-	// Period is how often desired worker counts are re-evaluated.
-	Period time.Duration
-	// ColdStart is the model cold-start delay before a new worker serves
-	// (§2: "resources cannot scale up instantly due to model cold starts").
-	ColdStart time.Duration
-	// Headroom multiplies the measured rate when computing desired workers.
-	Headroom float64
-	// MaxWorkers caps workers per module (cluster capacity).
-	MaxWorkers int
-	// MinWorkers floors workers per module.
-	MinWorkers int
-	// TotalGPUs, when positive, bounds the sum of workers across all
-	// modules (the paper's 64-GPU cluster constraint). When the aggregate
-	// demand exceeds it, capacity is granted proportionally to demand.
-	TotalGPUs int
-}
+// The cluster mechanics (scaling engine, probes, failures, offline batch
+// profiling) live in the shared scheduling core; these aliases keep the
+// simulator's configuration surface stable.
+type (
+	// ScalingConfig controls the per-module resource scaling engine.
+	ScalingConfig = sched.ScalingConfig
+	// ProbeConfig enables optional high-volume recordings.
+	ProbeConfig = sched.ProbeConfig
+	// Failure describes one injected machine failure.
+	Failure = sched.Failure
+	// Request is one client request traversing the pipeline.
+	Request = sched.Request
+)
 
 // DefaultScaling returns the scaling configuration used by the experiments.
-func DefaultScaling() ScalingConfig {
-	return ScalingConfig{
-		Enabled:    true,
-		Period:     3 * time.Second,
-		ColdStart:  10 * time.Second,
-		Headroom:   1.2,
-		MaxWorkers: 4,
-		MinWorkers: 1,
-	}
+func DefaultScaling() ScalingConfig { return sched.DefaultScaling() }
+
+// TargetBatches picks each module's target batch size; see
+// sched.TargetBatches.
+func TargetBatches(spec *pipeline.Spec, lib *profile.Library, frac float64) ([]int, []time.Duration, error) {
+	return sched.TargetBatches(spec, lib, frac)
 }
 
-// ProbeConfig enables optional high-volume recordings.
-type ProbeConfig struct {
-	// QueueDelay records each module's average queueing delay per sync tick
-	// (Fig. 12c).
-	QueueDelay bool
-	// LoadFactor records module 0's load factor μ and priority mode per sync
-	// tick (Fig. 13).
-	LoadFactor bool
-	// Budget records per-module consumed latency budget of completed
-	// requests over time (Fig. 12a) and remaining budgets at module arrival
-	// (Fig. 12d).
-	Budget bool
-	// Decomposition records per-request ΣQ/ΣW/ΣD samples (Fig. 12b) and
-	// per-module batch-wait samples (Fig. 6).
-	Decomposition bool
-	// SampleEvery subsamples per-request probes (1 = every request).
-	SampleEvery int
+// ApplyGPUBudget scales per-module worker demands down proportionally when
+// their sum exceeds the cluster budget; see sched.ApplyGPUBudget.
+func ApplyGPUBudget(desired []int, budget, min int) {
+	sched.ApplyGPUBudget(desired, budget, min)
+}
+
+// ProvisionWorkers computes per-module worker counts able to sustain the
+// given request rate; see sched.ProvisionWorkers.
+func ProvisionWorkers(spec *pipeline.Spec, lib *profile.Library, batches []int, rate, headroom float64, min, max int) ([]int, error) {
+	return sched.ProvisionWorkers(spec, lib, batches, rate, headroom, min, max)
 }
 
 // Config fully describes one simulation run.
@@ -167,96 +149,6 @@ func (c *Config) withDefaults() (Config, error) {
 				len(out.FixedWorkers), out.Spec.N())
 		}
 		out.Scaling.Enabled = false
-	}
-	return out, nil
-}
-
-// Failure describes one injected machine failure: at time At, Count workers
-// of module Module crash. Requests queued or executing on a crashed worker
-// at that moment are lost (recorded as drops at that module); replacement
-// capacity arrives only through the scaling engine's cold-start path.
-type Failure struct {
-	At     time.Duration
-	Module int
-	Count  int
-}
-
-// TargetBatches picks each module's target batch size: the largest batch
-// whose profiled duration fits the module's share of the execution budget
-// SLO·frac, distributed proportionally to single-request durations. It
-// returns the batch sizes and their profiled durations.
-func TargetBatches(spec *pipeline.Spec, lib *profile.Library, frac float64) ([]int, []time.Duration, error) {
-	if frac <= 0 || frac > 1 {
-		return nil, nil, fmt.Errorf("simgpu: batch fraction %v outside (0,1]", frac)
-	}
-	n := spec.N()
-	models := make([]profile.Model, n)
-	var d1Sum time.Duration
-	for k := 0; k < n; k++ {
-		m, err := lib.Get(spec.Modules[k].Name)
-		if err != nil {
-			return nil, nil, err
-		}
-		models[k] = m
-		d1Sum += m.Duration(1)
-	}
-	batches := make([]int, n)
-	durs := make([]time.Duration, n)
-	budget := time.Duration(float64(spec.SLO) * frac)
-	for k := 0; k < n; k++ {
-		share := time.Duration(float64(budget) * float64(models[k].Duration(1)) / float64(d1Sum))
-		b := models[k].BestBatch(share)
-		if b < 1 {
-			b = 1
-		}
-		batches[k] = b
-		durs[k] = models[k].Duration(b)
-	}
-	return batches, durs, nil
-}
-
-// ApplyGPUBudget scales per-module worker demands down proportionally when
-// their sum exceeds the cluster budget, flooring each module at min. A
-// budget <= 0 means unlimited.
-func ApplyGPUBudget(desired []int, budget, min int) {
-	if budget <= 0 {
-		return
-	}
-	total := 0
-	for _, d := range desired {
-		total += d
-	}
-	if total <= budget {
-		return
-	}
-	for k := range desired {
-		grant := desired[k] * budget / total
-		if grant < min {
-			grant = min
-		}
-		desired[k] = grant
-	}
-}
-
-// ProvisionWorkers computes per-module worker counts able to sustain the
-// given request rate with the target batch sizes, clamped to [min, max].
-func ProvisionWorkers(spec *pipeline.Spec, lib *profile.Library, batches []int, rate, headroom float64, min, max int) ([]int, error) {
-	n := spec.N()
-	out := make([]int, n)
-	for k := 0; k < n; k++ {
-		m, err := lib.Get(spec.Modules[k].Name)
-		if err != nil {
-			return nil, err
-		}
-		tp := m.Throughput(batches[k])
-		w := int(math.Ceil(rate * headroom / tp))
-		if w < min {
-			w = min
-		}
-		if w > max {
-			w = max
-		}
-		out[k] = w
 	}
 	return out, nil
 }

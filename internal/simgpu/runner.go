@@ -2,13 +2,11 @@ package simgpu
 
 import (
 	"fmt"
-	"math/rand"
 	"time"
 
 	"pard/internal/core"
 	"pard/internal/metrics"
-	"pard/internal/pipeline"
-	"pard/internal/policy"
+	"pard/internal/sched"
 	"pard/internal/sim"
 )
 
@@ -44,24 +42,16 @@ type Result struct {
 	SimEvents uint64
 }
 
-// Runner executes one configuration.
+// Runner executes one configuration: the shared scheduling core
+// (internal/sched) instantiated on the virtual event-heap clock, plus trace
+// injection and result collection.
 type Runner struct {
 	cfg Config
 	eng *sim.Engine
-	pol policy.Policy
+	cl  *sched.Cluster
 
-	modules []*module
-	board   *core.Board
-
-	// Independent deterministic random streams.
-	execRng *rand.Rand // execution jitter
-	statRng *rand.Rand // reservoirs
-	pathRng *rand.Rand // exclusive DAG branch choice
-	jitter  float64
-
-	requests    []*Request
+	requests    []*sched.Request
 	outstanding int
-	traceDone   bool
 
 	sumQ, sumW, sumD []float64
 	sampleCounter    int
@@ -73,140 +63,57 @@ func New(cfg Config) (*Runner, error) {
 	if err != nil {
 		return nil, err
 	}
-	batches, durs, err := TargetBatches(full.Spec, full.Lib, full.BatchFrac)
-	if err != nil {
-		return nil, err
-	}
-
-	r := &Runner{
-		cfg:     full,
-		eng:     sim.New(full.Seed),
-		board:   core.NewBoard(full.Spec.N()),
-		execRng: rand.New(rand.NewSource(full.Seed + 1)),
-		statRng: rand.New(rand.NewSource(full.Seed + 2)),
-		pathRng: rand.New(rand.NewSource(full.Seed + 3)),
-		jitter:  full.JitterPct,
-	}
-
-	// Build the policy.
-	estCfg := core.DefaultEstimatorConfig()
-	if full.Lambda > 0 {
-		estCfg.Lambda = full.Lambda
-	}
-	if full.EstimatorSamples > 0 {
-		estCfg.Samples = full.EstimatorSamples
-	}
-	priCfg := core.DefaultPriorityConfig()
-	if full.PriorityWindow > 0 {
-		priCfg.Window = full.PriorityWindow
-	}
-	pol, err := policy.New(full.PolicyName, policy.Setup{
-		Spec:   full.Spec,
-		Durs:   durs,
-		Rng:    rand.New(rand.NewSource(full.Seed + 4)),
-		EstCfg: &estCfg,
-		PriCfg: &priCfg,
-	})
-	if err != nil {
-		return nil, err
-	}
-	r.pol = pol
 
 	// Provision workers: fixed counts, or sized for the early trace rate and
 	// left to the scaling engine.
 	workers := full.FixedWorkers
 	if workers == nil {
+		batches, _, err := sched.TargetBatches(full.Spec, full.Lib, full.BatchFrac)
+		if err != nil {
+			return nil, err
+		}
 		warmup := full.Trace.Slice(0, 10*time.Second)
 		rate := warmup.MeanRate()
 		if rate <= 0 {
 			rate = full.Trace.MeanRate()
 		}
-		workers, err = ProvisionWorkers(full.Spec, full.Lib, batches, rate,
+		workers, err = sched.ProvisionWorkers(full.Spec, full.Lib, batches, rate,
 			full.Scaling.Headroom, full.Scaling.MinWorkers, full.Scaling.MaxWorkers)
 		if err != nil {
 			return nil, err
 		}
-		ApplyGPUBudget(workers, full.Scaling.TotalGPUs, full.Scaling.MinWorkers)
+		sched.ApplyGPUBudget(workers, full.Scaling.TotalGPUs, full.Scaling.MinWorkers)
 	}
 
-	for k := 0; k < full.Spec.N(); k++ {
-		model, err := full.Lib.Get(full.Spec.Modules[k].Name)
-		if err != nil {
-			return nil, err
-		}
-		m := newModule(r, k, full.Spec.Modules[k], model, batches[k], durs[k], workers[k])
-		r.modules = append(r.modules, m)
+	r := &Runner{cfg: full, eng: sim.New(full.Seed)}
+	cl, err := sched.New(sched.Config{
+		Spec:             full.Spec,
+		Lib:              full.Lib,
+		PolicyName:       full.PolicyName,
+		Seed:             full.Seed,
+		BatchFrac:        full.BatchFrac,
+		Workers:          workers,
+		QueueWindow:      full.QueueWindow,
+		WaitReservoir:    full.WaitReservoir,
+		NetDelay:         full.NetDelay,
+		JitterPct:        full.JitterPct,
+		Scaling:          full.Scaling,
+		Probes:           full.Probes,
+		Lambda:           full.Lambda,
+		EstimatorSamples: full.EstimatorSamples,
+		PriorityWindow:   full.PriorityWindow,
+		OnDone:           r.onDone,
+		OnDrop:           r.onDrop,
+	}, sched.NewSimExecutor(r.eng))
+	if err != nil {
+		return nil, err
 	}
+	r.cl = cl
 	return r, nil
 }
 
-// scheduleBatchEnd registers the batch-completion event.
-func (r *Runner) scheduleBatchEnd(w *worker, at time.Duration) {
-	r.eng.Schedule(at, "batch-end", func(e *sim.Engine) { w.batchEnd(e.Now()) })
-}
-
-// scheduleWarmup wakes a cold-started worker.
-func (r *Runner) scheduleWarmup(w *worker, at time.Duration) {
-	r.eng.Schedule(at, "warmup", func(e *sim.Engine) { w.pump(e.Now()) })
-}
-
-// drop marks a request dropped at module k.
-func (r *Runner) drop(req *Request, k int, now time.Duration) {
-	if req.Dropped || req.Finished {
-		return
-	}
-	req.Dropped = true
-	req.DropModule = k
-	req.DropAt = now
-	r.modules[k].drops++
-	r.outstanding--
-}
-
-// forward routes a request leaving module k: split to successors, merge at
-// fan-in, or complete at the sink.
-func (r *Runner) forward(req *Request, k int, now time.Duration) {
-	mod := r.cfg.Spec.Modules[k]
-	if len(mod.Subs) == 0 {
-		r.complete(req, now)
-		return
-	}
-	subs := mod.Subs
-	if mod.Exclusive {
-		subs = []int{mod.Subs[r.pickBranch(mod)]}
-		req.ExpectedMerge = 1
-	} else if len(subs) > 1 {
-		req.ExpectedMerge = len(subs)
-	}
-	arrive := now + r.cfg.NetDelay
-	for _, sub := range subs {
-		target := r.modules[sub]
-		r.eng.Schedule(arrive, "hop", func(e *sim.Engine) { target.receive(req, e.Now()) })
-	}
-}
-
-// pickBranch selects one successor index for an exclusive fan-out.
-func (r *Runner) pickBranch(mod pipeline.Module) int {
-	if len(mod.BranchProb) == 0 {
-		return r.pathRng.Intn(len(mod.Subs))
-	}
-	x := r.pathRng.Float64()
-	acc := 0.0
-	for i, p := range mod.BranchProb {
-		acc += p
-		if x < acc {
-			return i
-		}
-	}
-	return len(mod.Subs) - 1
-}
-
-// complete finalizes a request that finished the sink module.
-func (r *Runner) complete(req *Request, now time.Duration) {
-	if req.Dropped || req.Finished {
-		return
-	}
-	req.Finished = true
-	req.DoneAt = now
+// onDone observes a request completing the sink module.
+func (r *Runner) onDone(req *sched.Request, now time.Duration) {
 	r.outstanding--
 	if r.cfg.Probes.Decomposition {
 		r.sampleCounter++
@@ -218,15 +125,18 @@ func (r *Runner) complete(req *Request, now time.Duration) {
 	}
 }
 
+// onDrop observes a request dropped at a module.
+func (r *Runner) onDrop(req *sched.Request, k int, now time.Duration) {
+	r.outstanding--
+}
+
 // inject schedules all trace arrivals as client sends into the source
 // module.
 func (r *Runner) inject() {
-	src := r.modules[r.cfg.Spec.Source()]
 	slo := r.cfg.Spec.SLO
-	net := r.cfg.NetDelay
-	r.requests = make([]*Request, 0, r.cfg.Trace.Len())
+	r.requests = make([]*sched.Request, 0, r.cfg.Trace.Len())
 	for i, at := range r.cfg.Trace.Arrivals {
-		req := &Request{
+		req := &sched.Request{
 			ID:         uint64(i),
 			Send:       at,
 			Deadline:   at + slo,
@@ -234,7 +144,7 @@ func (r *Runner) inject() {
 		}
 		r.requests = append(r.requests, req)
 		r.outstanding++
-		r.eng.Schedule(at+net, "arrive", func(e *sim.Engine) { src.receive(req, e.Now()) })
+		r.cl.Inject(req, at)
 	}
 }
 
@@ -253,13 +163,7 @@ func (r *Runner) Run() (*Result, error) {
 	// State synchronization tick (§4.1 steps ①-③).
 	r.eng.Ticker(r.cfg.SyncPeriod, "sync", func(e *sim.Engine) bool {
 		now := e.Now()
-		for _, m := range r.modules {
-			m.publish(now, r.board)
-		}
-		r.pol.OnSync(now, r.board)
-		for _, m := range r.modules {
-			m.probePriority(now, r.board)
-		}
+		r.cl.SyncTick(now)
 		return !r.drained(now)
 	})
 
@@ -268,14 +172,7 @@ func (r *Runner) Run() (*Result, error) {
 	if r.cfg.Scaling.Enabled {
 		r.eng.Ticker(r.cfg.Scaling.Period, "scale", func(e *sim.Engine) bool {
 			now := e.Now()
-			desired := make([]int, len(r.modules))
-			for k, m := range r.modules {
-				desired[k] = m.desiredWorkers(now)
-			}
-			ApplyGPUBudget(desired, r.cfg.Scaling.TotalGPUs, r.cfg.Scaling.MinWorkers)
-			for k, m := range r.modules {
-				m.applyScale(now, desired[k])
-			}
+			r.cl.ScaleTick(now)
 			return !r.drained(now)
 		})
 	}
@@ -284,7 +181,7 @@ func (r *Runner) Run() (*Result, error) {
 	for _, f := range r.cfg.Failures {
 		f := f
 		r.eng.Schedule(f.At, "failure", func(e *sim.Engine) {
-			r.modules[f.Module].crash(e.Now(), f.Count)
+			r.cl.Crash(f.Module, e.Now(), f.Count)
 		})
 	}
 
@@ -332,30 +229,31 @@ func (r *Runner) buildResult() *Result {
 		SumW:       r.sumW,
 		SumD:       r.sumD,
 	}
-	res.TargetBatches = make([]int, len(r.modules))
-	res.ProfiledDurs = make([]time.Duration, len(r.modules))
-	res.PeakWorkers = make([]int, len(r.modules))
-	for k, m := range r.modules {
-		res.TargetBatches[k] = m.targetBatch
-		res.ProfiledDurs[k] = m.targetDur
-		res.PeakWorkers[k] = m.peakWorkers
+	n := r.cl.N()
+	res.TargetBatches = make([]int, n)
+	res.ProfiledDurs = make([]time.Duration, n)
+	res.PeakWorkers = make([]int, n)
+	for k := 0; k < n; k++ {
+		res.TargetBatches[k] = r.cl.TargetBatch(k)
+		res.ProfiledDurs[k] = r.cl.ProfiledDur(k)
+		res.PeakWorkers[k] = r.cl.PeakWorkers(k)
 	}
 	if r.cfg.Probes.QueueDelay {
-		for _, m := range r.modules {
-			res.QueueDelay = append(res.QueueDelay, m.queueDelayProbe)
+		for k := 0; k < n; k++ {
+			res.QueueDelay = append(res.QueueDelay, r.cl.Probes(k).QueueDelay)
 		}
 	}
 	if r.cfg.Probes.LoadFactor {
 		// Report the source module's controller (the module workload bursts
 		// hit first; Fig. 13 plots a single representative module).
-		src := r.modules[r.cfg.Spec.Source()]
-		res.LoadFactor = src.loadProbe
-		res.ModeSeries = src.modeProbe
-		if pr, ok := r.pol.(interface {
+		src := r.cl.Probes(r.cfg.Spec.Source())
+		res.LoadFactor = src.Load
+		res.ModeSeries = src.Mode
+		if pr, ok := r.cl.Policy().(interface {
 			Priority(int) *core.PriorityController
 		}); ok {
 			total := 0
-			for k := range r.modules {
+			for k := 0; k < n; k++ {
 				if pc := pr.Priority(k); pc != nil {
 					total += pc.Switches()
 				}
@@ -364,14 +262,15 @@ func (r *Runner) buildResult() *Result {
 		}
 	}
 	if r.cfg.Probes.Budget {
-		for _, m := range r.modules {
-			res.Consumed = append(res.Consumed, m.budgetProbe)
-			res.Remaining = append(res.Remaining, m.remainProbe)
+		for k := 0; k < n; k++ {
+			p := r.cl.Probes(k)
+			res.Consumed = append(res.Consumed, p.Budget)
+			res.Remaining = append(res.Remaining, p.Remain)
 		}
 	}
 	if r.cfg.Probes.Decomposition {
-		for _, m := range r.modules {
-			res.WaitSamples = append(res.WaitSamples, append([]float64(nil), m.waitProbe.Values()...))
+		for k := 0; k < n; k++ {
+			res.WaitSamples = append(res.WaitSamples, r.cl.Probes(k).WaitSamples)
 		}
 	}
 	return res

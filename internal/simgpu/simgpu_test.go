@@ -241,7 +241,7 @@ func TestScalingReactsToBurst(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	initial := r.modules[0].activeWorkers()
+	initial := r.cl.ActiveWorkers(0)
 	res, err := r.Run()
 	if err != nil {
 		t.Fatal(err)

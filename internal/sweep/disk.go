@@ -1,0 +1,128 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"pard/internal/simgpu"
+	"pard/internal/trace"
+)
+
+// diskFormat versions the on-disk entry layout; bump it whenever the
+// serialized types or the simulation semantics change incompatibly, and
+// stale entries simply stop matching.
+const diskFormat = 1
+
+func init() {
+	// The cache stores entry values as `any`; register the concrete types
+	// the engine produces so gob can round-trip them.
+	gob.Register(&simgpu.Result{})
+	gob.Register(&trace.Trace{})
+}
+
+// diskEntry is one persisted cache artifact. Scope and Key are stored in
+// full and verified on load, so a filename-hash collision can never serve
+// the wrong result.
+type diskEntry struct {
+	Scope string
+	Key   string
+	Val   any
+}
+
+// diskCache persists finished artifacts (runs and traces) under their
+// stable cache keys so repeated invocations — across processes — reuse
+// finished grid points. Entries are written atomically (temp file + rename)
+// and loads are best-effort: a corrupt or mismatched file is treated as a
+// miss and recomputed.
+type diskCache struct {
+	dir   string
+	scope string
+
+	mu     sync.Mutex
+	hits   int
+	misses int
+}
+
+// newDiskCache opens (creating if needed) a cache directory. The scope
+// string pins everything that changes results without appearing in the
+// artifact keys themselves: the base seed (run seeds derive from it) and
+// the engine trace duration (run keys do not encode it).
+func newDiskCache(dir string, baseSeed int64, scope string) (*diskCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sweep: cache dir: %w", err)
+	}
+	return &diskCache{
+		dir:   dir,
+		scope: fmt.Sprintf("v%d|seed=%d|%s", diskFormat, baseSeed, scope),
+	}, nil
+}
+
+// path maps a key to its cache file: an FNV-64a content hash of scope+key.
+func (d *diskCache) path(key string) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s\x00%s", d.scope, key)
+	return filepath.Join(d.dir, fmt.Sprintf("%016x.gob", h.Sum64()))
+}
+
+// load returns the cached value for key, if a valid entry exists.
+func (d *diskCache) load(key string) (any, bool) {
+	data, err := os.ReadFile(d.path(key))
+	if err != nil {
+		d.count(false)
+		return nil, false
+	}
+	var e diskEntry
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&e); err != nil ||
+		e.Scope != d.scope || e.Key != key || e.Val == nil {
+		d.count(false)
+		return nil, false
+	}
+	d.count(true)
+	return e.Val, true
+}
+
+// store persists a computed value. Failures are silent: the disk cache is
+// an accelerator, never a correctness dependency.
+func (d *diskCache) store(key string, val any) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(diskEntry{Scope: d.scope, Key: key, Val: val}); err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(d.dir, "entry-*.tmp")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	_, werr := tmp.Write(buf.Bytes())
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(name)
+		return
+	}
+	if err := os.Rename(name, d.path(key)); err != nil {
+		os.Remove(name)
+	}
+}
+
+// count tallies one lookup.
+func (d *diskCache) count(hit bool) {
+	d.mu.Lock()
+	if hit {
+		d.hits++
+	} else {
+		d.misses++
+	}
+	d.mu.Unlock()
+}
+
+// stats returns lookup counters.
+func (d *diskCache) stats() (hits, misses int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.hits, d.misses
+}

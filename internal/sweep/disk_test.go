@@ -1,0 +1,136 @@
+package sweep
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"pard/internal/trace"
+)
+
+func diskEngine(t *testing.T, dir string, seed int64) *Engine {
+	t.Helper()
+	e := New(Config{
+		Workers:       2,
+		BaseSeed:      seed,
+		TraceDuration: 30 * time.Second,
+		CacheDir:      dir,
+	})
+	if err := e.DiskError(); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func smokeSpec() Spec {
+	return Spec{App: "tm", Kind: trace.Steady, Policy: "pard"}
+}
+
+// TestDiskCacheRoundTrip runs one grid point cold, then re-runs it through a
+// fresh engine sharing the cache directory: the second run must be a disk
+// hit producing a deep-equal result without recomputing.
+func TestDiskCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+
+	e1 := diskEngine(t, dir, 1)
+	r1, err := e1.Run(smokeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := e1.DiskStats(); hits != 0 || misses == 0 {
+		t.Fatalf("cold run: hits=%d misses=%d", hits, misses)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*.gob"))
+	if len(files) == 0 {
+		t.Fatal("cold run persisted nothing")
+	}
+
+	e2 := diskEngine(t, dir, 1)
+	r2, err := e2.Run(smokeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, _ := e2.DiskStats(); hits == 0 {
+		t.Fatal("warm run had no disk hits")
+	}
+	if !reflect.DeepEqual(r1.Summary, r2.Summary) {
+		t.Fatalf("summaries differ:\ncold %+v\nwarm %+v", r1.Summary, r2.Summary)
+	}
+	if !reflect.DeepEqual(r1.Collector.Records(), r2.Collector.Records()) {
+		t.Fatal("per-request records differ after disk round trip")
+	}
+	if r1.Workload != r2.Workload || r1.PolicyName != r2.PolicyName ||
+		!reflect.DeepEqual(r1.TargetBatches, r2.TargetBatches) ||
+		!reflect.DeepEqual(r1.PeakWorkers, r2.PeakWorkers) {
+		t.Fatal("run metadata differs after disk round trip")
+	}
+}
+
+// TestDiskCacheScopedBySeed proves a different base seed never reuses
+// another seed's entries (run seeds derive from the base).
+func TestDiskCacheScopedBySeed(t *testing.T) {
+	dir := t.TempDir()
+	e1 := diskEngine(t, dir, 1)
+	if _, err := e1.Run(smokeSpec()); err != nil {
+		t.Fatal(err)
+	}
+	e2 := diskEngine(t, dir, 2)
+	if _, err := e2.Run(smokeSpec()); err != nil {
+		t.Fatal(err)
+	}
+	if hits, _ := e2.DiskStats(); hits != 0 {
+		t.Fatalf("seed 2 hit seed 1's cache entries (%d hits)", hits)
+	}
+}
+
+// TestDiskCacheIgnoresCorruptEntries overwrites a cache file with garbage:
+// the engine must fall back to recomputing, not fail.
+func TestDiskCacheIgnoresCorruptEntries(t *testing.T) {
+	dir := t.TempDir()
+	e1 := diskEngine(t, dir, 1)
+	r1, err := e1.Run(smokeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*.gob"))
+	for _, f := range files {
+		if err := os.WriteFile(f, []byte("not a gob"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e2 := diskEngine(t, dir, 1)
+	r2, err := e2.Run(smokeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, _ := e2.DiskStats(); hits != 0 {
+		t.Fatal("corrupt entry counted as hit")
+	}
+	if !reflect.DeepEqual(r1.Summary, r2.Summary) {
+		t.Fatal("recomputed result differs")
+	}
+}
+
+// TestDiskCacheTraceReuse covers the second artifact type: synthesized
+// traces round-trip through the disk cache too.
+func TestDiskCacheTraceReuse(t *testing.T) {
+	dir := t.TempDir()
+	e1 := diskEngine(t, dir, 1)
+	tr1, err := e1.Trace(trace.Wiki)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := diskEngine(t, dir, 1)
+	tr2, err := e2.Trace(trace.Wiki)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, _ := e2.DiskStats(); hits != 1 {
+		t.Fatalf("trace reload: %d hits, want 1", hits)
+	}
+	if !reflect.DeepEqual(tr1, tr2) {
+		t.Fatal("trace differs after disk round trip")
+	}
+}

@@ -69,6 +69,12 @@ type Config struct {
 	Library *profile.Library
 	// OnProgress, when set, is invoked (serially) after each job finishes.
 	OnProgress func(Progress)
+	// CacheDir, when set, persists finished artifacts to disk (gob entries
+	// keyed by the stable cache keys, scoped by base seed and trace
+	// duration) so repeated invocations reuse finished grid points across
+	// processes. Disk hits fill the in-memory cache without counting as
+	// executed work.
+	CacheDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -97,8 +103,10 @@ type flight struct {
 // Engine runs jobs on a bounded worker pool with a single-flight cache.
 // All methods are safe for concurrent use.
 type Engine struct {
-	cfg Config
-	sem chan struct{}
+	cfg     Config
+	sem     chan struct{}
+	disk    *diskCache
+	diskErr error
 
 	mu    sync.Mutex
 	cache map[string]*flight
@@ -113,11 +121,32 @@ type Engine struct {
 // New returns an engine for the config.
 func New(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
-	return &Engine{
+	e := &Engine{
 		cfg:   cfg,
 		sem:   make(chan struct{}, cfg.Workers),
 		cache: map[string]*flight{},
 	}
+	if cfg.CacheDir != "" {
+		d, err := newDiskCache(cfg.CacheDir, cfg.BaseSeed, fmt.Sprintf("dur=%v", cfg.TraceDuration))
+		if err != nil {
+			e.diskErr = err
+		} else {
+			e.disk = d
+		}
+	}
+	return e
+}
+
+// DiskError reports why the configured cache directory could not be opened
+// (nil when unconfigured or healthy).
+func (e *Engine) DiskError() error { return e.diskErr }
+
+// DiskStats returns disk-cache lookup counters (zeros when unconfigured).
+func (e *Engine) DiskStats() (hits, misses int) {
+	if e.disk == nil {
+		return 0, 0
+	}
+	return e.disk.stats()
 }
 
 // Config returns the effective engine configuration.
@@ -150,12 +179,24 @@ func (e *Engine) Do(key string, fn func(seed int64) (any, error)) (any, error) {
 	f := &flight{done: make(chan struct{})}
 	e.cache[key] = f
 	e.mu.Unlock()
+	if e.disk != nil {
+		if v, ok := e.disk.load(key); ok {
+			// A disk hit is not work: it fills the in-memory cache without
+			// counting toward progress, like any other cache hit.
+			f.val = v
+			close(f.done)
+			return f.val, nil
+		}
+	}
 	e.pmu.Lock()
 	e.submitted++
 	e.pmu.Unlock()
 	start := time.Now()
 	f.val, f.err = fn(e.SeedFor(key))
 	close(f.done)
+	if f.err == nil && e.disk != nil {
+		e.disk.store(key, f.val)
+	}
 	e.report(key, f.err, time.Since(start))
 	return f.val, f.err
 }

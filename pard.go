@@ -59,6 +59,10 @@ func GM() *Pipeline { return pipeline.GM() }
 // DA returns the DAG-style live-video pipeline (420 ms SLO).
 func DA() *Pipeline { return pipeline.DA() }
 
+// Apps returns the paper's four applications keyed by name (tm, lv, gm,
+// da) — the single registry the commands and examples resolve names from.
+func Apps() map[string]*Pipeline { return pipeline.Apps() }
+
 // DADynamic returns DA with request-specific dynamic branch selection
 // (§5.2): each request takes the pose branch with probability poseProb.
 func DADynamic(poseProb float64) *Pipeline { return pipeline.DADynamic(poseProb) }
@@ -214,17 +218,20 @@ func RunExperiment(id string, cfg ExperimentConfig) (*ExperimentOutput, error) {
 	return e.Run(experiments.NewHarness(cfg))
 }
 
-// Live serving (wall-clock runtime with an HTTP data plane).
+// Live serving (wall-clock runtime with an HTTP data plane). The server is
+// a thin shell over the same scheduling core the simulator runs, so it
+// serves chains and DAGs alike with identical drop/priority decisions.
 type (
 	// ServerConfig describes a live serving deployment.
 	ServerConfig = server.Config
-	// Server hosts one pipeline with real goroutine workers.
+	// Server hosts one pipeline — chain or DAG — on wall-clock timers.
 	Server = server.Server
 	// ServerResponse is the JSON reply of POST /infer.
 	ServerResponse = server.Response
 )
 
-// NewServer builds (but does not start) a live pipeline server.
+// NewServer builds (but does not start) a live pipeline server for any
+// validated pipeline spec.
 func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
 
 // RAG case study (§7).
