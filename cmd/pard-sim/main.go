@@ -38,6 +38,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	seed := fs.Int64("seed", 1, "random seed")
 	compare := fs.Bool("compare", false, "run the four headline systems instead of one policy")
 	parallel := fs.Int("parallel", 0, "concurrent simulation runs (0 = all CPU cores, 1 = sequential)")
+	shards := fs.Int("shards", 0, "per-module event shards within each simulation (0 = classic single event heap, 1 = sharded engine sequential, N = N workers)")
 	list := fs.Bool("list", false, "list policies and exit")
 	window := fs.Duration("window", 24*time.Second, "goodput window size")
 	if err := fs.Parse(args); err != nil {
@@ -90,6 +91,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 					PolicyName: pol,
 					Trace:      tr,
 					Seed:       *seed,
+					Shards:     *shards,
 				})
 			},
 		}

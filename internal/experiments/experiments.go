@@ -73,6 +73,10 @@ type Config struct {
 	// CacheDir, when set, persists finished simulation runs to disk so
 	// repeated invocations reuse finished grid points (see sweep.Config).
 	CacheDir string
+	// Shards, when >= 1, runs every simulation on the sharded per-module
+	// lane engine with that many workers (see simgpu.Config.Shards). Zero
+	// keeps the classic global event heap.
+	Shards int
 }
 
 func (c Config) withDefaults() Config {
@@ -140,12 +144,23 @@ type Spec = sweep.Spec
 
 // Run executes (or retrieves from cache) one simulation.
 func (h *Harness) Run(app string, kind trace.Kind, policy string, opts RunOpts) (*simgpu.Result, error) {
+	if opts.Shards == 0 {
+		opts.Shards = h.cfg.Shards
+	}
 	return h.eng.Run(Spec{App: app, Kind: kind, Policy: policy, Opts: opts})
 }
 
 // Sweep executes a grid of specs concurrently and returns results in input
 // order; see sweep.Engine.Sweep for the determinism contract.
 func (h *Harness) Sweep(specs []Spec) ([]*simgpu.Result, error) {
+	if h.cfg.Shards != 0 {
+		specs = append([]Spec(nil), specs...)
+		for i := range specs {
+			if specs[i].Opts.Shards == 0 {
+				specs[i].Opts.Shards = h.cfg.Shards
+			}
+		}
+	}
 	return h.eng.Sweep(specs)
 }
 

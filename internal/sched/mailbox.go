@@ -1,0 +1,155 @@
+package sched
+
+import (
+	"sort"
+	"time"
+)
+
+// This file implements the deterministic ordered mailboxes of the sharded
+// execution path. Two kinds of cross-module traffic flow through them:
+//
+//   - posts: events one lane schedules on another (batch hand-off, DAG
+//     fan-out and merge hops). They are buffered in the sending lane's
+//     outbox and delivered at the window barrier sorted by
+//     (virtual time, source module, send sequence).
+//   - intents: request terminations (drops and completions) decided inside a
+//     window. They are buffered per lane and committed at the barrier sorted
+//     by (virtual time, module, decision sequence), so the globally visible
+//     Request state — and the order of host OnDrop/OnDone callbacks — is a
+//     pure function of the workload, independent of shard count.
+//
+// The sequential executor path (a ShardedExecutor with one shard) runs the
+// exact same machinery single-threaded, which is what makes "sharded ≡
+// sequential" hold by construction and lets the differential harness verify
+// it empirically.
+
+// post is one cross-lane event in flight.
+type post struct {
+	src, dst int
+	at       time.Duration
+	name     string
+	fn       func(now time.Duration)
+}
+
+// sortPosts orders a merged mailbox by (virtual time, source module). Posts
+// are gathered in (source module, send order) sequence, so the stable sort
+// yields the full deterministic key (time, module, sequence).
+func sortPosts(posts []post) {
+	sort.SliceStable(posts, func(i, j int) bool {
+		if posts[i].at != posts[j].at {
+			return posts[i].at < posts[j].at
+		}
+		return posts[i].src < posts[j].src
+	})
+}
+
+// laneScheduler is the contract a lane-aware executor offers the cluster:
+// per-lane event scheduling from an identified source context plus a
+// barrier hook for intent commits. *ShardedExecutor implements it; classic
+// executors (SimExecutor, TimerExecutor, ManualExecutor) do not, and the
+// cluster falls back to plain Schedule with immediate terminations.
+type laneScheduler interface {
+	Executor
+	// scheduleLane schedules fn on lane dst; src is the executing lane or -1
+	// for host/control/barrier context.
+	scheduleLane(src, dst int, at time.Duration, name string, fn func(now time.Duration))
+	// setBarrierHook registers the cluster's barrier commit.
+	setBarrierHook(func())
+	// parallelLanes fans a lane-local function out over all lanes from
+	// control context.
+	parallelLanes(fn func(lane int))
+	// Lanes returns the executor's lane count (must equal the module count).
+	Lanes() int
+}
+
+// intent is one deferred request termination.
+type intent struct {
+	at  time.Duration
+	req *Request
+	// drop is true for a drop at the module, false for a sink completion.
+	drop bool
+}
+
+// laneBridge carries the cluster's per-lane deferred state while running on
+// a lane-aware executor.
+type laneBridge struct {
+	cl *Cluster
+	// intents[k] holds module k's terminations of the current window, in
+	// decision order.
+	intents [][]intent
+	// retired[k] is module k's lane-local view of requests it terminated in
+	// the current window: the deciding lane must see its own drops
+	// immediately, while other lanes learn of them at the next barrier (via
+	// the committed Request flags). Cleared at every barrier.
+	retired []map[*Request]struct{}
+	// scratch reuses the merged commit buffer across barriers.
+	scratch []mergedIntent
+}
+
+// mergedIntent tags an intent with its sort key (module, then per-lane
+// decision order preserved by the stable sort).
+type mergedIntent struct {
+	intent
+	mod int
+}
+
+func newLaneBridge(cl *Cluster, n int) *laneBridge {
+	b := &laneBridge{cl: cl, intents: make([][]intent, n), retired: make([]map[*Request]struct{}, n)}
+	for k := range b.retired {
+		b.retired[k] = make(map[*Request]struct{})
+	}
+	return b
+}
+
+// add defers one termination decided by module k.
+func (b *laneBridge) add(k int, req *Request, at time.Duration, drop bool) {
+	b.intents[k] = append(b.intents[k], intent{at: at, req: req, drop: drop})
+	b.retired[k][req] = struct{}{}
+}
+
+// sees reports whether module k already considers req terminated: globally
+// committed, or terminated by k itself inside the current window.
+func (b *laneBridge) sees(k int, req *Request) bool {
+	_, ok := b.retired[k][req]
+	return ok
+}
+
+// commit applies every deferred termination in (virtual time, module,
+// decision order) order. Committing sets the shared Request flags (making
+// the termination visible to every lane from the next window on), counts the
+// drop against the deciding module, and fires the host callback. The first
+// intent for a request in commit order wins; later ones — a second branch of
+// a DAG deciding to drop the same request inside one window — are no-ops,
+// exactly as under sequential execution.
+func (b *laneBridge) commit() {
+	merged := b.scratch[:0]
+	for k, list := range b.intents {
+		for _, it := range list {
+			merged = append(merged, mergedIntent{intent: it, mod: k})
+		}
+		b.intents[k] = list[:0]
+	}
+	if len(merged) == 0 {
+		b.scratch = merged
+		return
+	}
+	sort.SliceStable(merged, func(i, j int) bool {
+		if merged[i].at != merged[j].at {
+			return merged[i].at < merged[j].at
+		}
+		return merged[i].mod < merged[j].mod
+	})
+	for _, m := range merged {
+		if m.drop {
+			b.cl.commitDrop(m.req, m.mod, m.at)
+		} else {
+			b.cl.commitComplete(m.req, m.at)
+		}
+	}
+	b.scratch = merged[:0]
+	for k := range b.retired {
+		if len(b.retired[k]) > 0 {
+			b.retired[k] = make(map[*Request]struct{})
+		}
+	}
+}

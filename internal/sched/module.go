@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"math/rand"
 	"time"
 
 	"pard/internal/core"
@@ -22,6 +23,12 @@ type module struct {
 	targetBatch int
 	targetDur   time.Duration
 	jitter      float64
+
+	// Per-module deterministic random streams: sharded execution advances
+	// modules concurrently, so each module consumes its own streams rather
+	// than racing over shared ones.
+	execRng *rand.Rand // execution jitter
+	statRng *rand.Rand // reservoir sampling
 
 	workers []*worker
 	nextWID int
@@ -47,6 +54,7 @@ type module struct {
 }
 
 func newModule(c *Cluster, idx int, spec pipeline.Module, model profile.Model, batch int, dur time.Duration, workers int) *module {
+	statRng := rand.New(rand.NewSource(streamSeed(c.cfg.Seed, idx, "stat")))
 	m := &module{
 		cl:          c,
 		idx:         idx,
@@ -55,9 +63,11 @@ func newModule(c *Cluster, idx int, spec pipeline.Module, model profile.Model, b
 		targetBatch: batch,
 		targetDur:   dur,
 		jitter:      c.jitter,
+		execRng:     rand.New(rand.NewSource(streamSeed(c.cfg.Seed, idx, "exec"))),
+		statRng:     statRng,
 		qWin:        stats.NewSlidingWindow(c.cfg.QueueWindow),
 		wclWin:      stats.NewSlidingWindow(c.cfg.QueueWindow),
-		waitRes:     stats.NewReservoir(c.cfg.WaitReservoir, c.statRng),
+		waitRes:     stats.NewReservoir(c.cfg.WaitReservoir, statRng),
 		rateWin:     stats.NewRateWindow(c.cfg.QueueWindow),
 		inWin:       stats.NewRateWindow(2 * time.Second),
 	}
@@ -73,7 +83,7 @@ func newModule(c *Cluster, idx int, spec pipeline.Module, model profile.Model, b
 		m.remainProbe = &metrics.Series{Name: "remaining-budget"}
 	}
 	if c.cfg.Probes.Decomposition {
-		m.waitProbe = stats.NewReservoir(10000, c.statRng)
+		m.waitProbe = stats.NewReservoir(10000, statRng)
 	}
 	for i := 0; i < workers; i++ {
 		m.addWorker(0, false)
@@ -136,14 +146,18 @@ func (m *module) execDuration(n int) time.Duration {
 	if j <= 0 {
 		return d
 	}
-	f := 1 + (m.cl.execRng.Float64()*2-1)*j
+	f := 1 + (m.execRng.Float64()*2-1)*j
 	return time.Duration(float64(d) * f)
 }
+
+// retired reports whether the request needs no further processing at this
+// module (terminated globally, or by this module in the current window).
+func (m *module) retired(r *Request) bool { return m.cl.retired(r, m.idx) }
 
 // receive handles a request copy arriving at this module (dispatcher step ④,
 // plus DAG merge semantics).
 func (m *module) receive(r *Request, now time.Duration) {
-	if r.Dropped || r.Finished {
+	if m.retired(r) {
 		return
 	}
 	if len(m.spec.Pres) > 1 {

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"sync/atomic"
 	"time"
 )
 
@@ -43,6 +44,25 @@ type Request struct {
 	mergeMaxArrive time.Duration
 }
 
+// charge accumulates a batch execution's per-request accounting. The adds
+// are atomic because parallel DAG branches can execute copies of the same
+// request in concurrently running lanes under the sharded executor; the
+// totals are order-independent sums, so the result stays deterministic.
+func (r *Request) charge(gpu, q, w, d time.Duration) {
+	atomic.AddInt64((*int64)(&r.GPU), int64(gpu))
+	atomic.AddInt64((*int64)(&r.SumQ), int64(q))
+	atomic.AddInt64((*int64)(&r.SumW), int64(w))
+	atomic.AddInt64((*int64)(&r.SumD), int64(d))
+}
+
+// resetMerge arms the merge bookkeeping for the next fan-out region: n
+// branch copies must arrive before the merge module proceeds.
+func (r *Request) resetMerge(n int) {
+	r.ExpectedMerge = n
+	r.mergeArrived = 0
+	r.mergeMaxArrive = 0
+}
+
 // entry is a request instance queued at a specific module (a branch copy in
 // DAG pipelines).
 type entry struct {
@@ -50,7 +70,3 @@ type entry struct {
 	// arrive is t_r at this module.
 	arrive time.Duration
 }
-
-// retired reports whether the request needs no further processing on this
-// path (already dropped elsewhere).
-func (e entry) retired() bool { return e.req.Dropped || e.req.Finished }

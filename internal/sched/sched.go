@@ -18,6 +18,7 @@ package sched
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"time"
 
@@ -37,9 +38,13 @@ type Config struct {
 	Lib *profile.Library
 	// PolicyName selects the drop policy (see policy.Names()).
 	PolicyName string
-	// Seed derives the core's independent random streams (execution jitter,
-	// reservoirs, DAG branch choice, policy internals) exactly as the
-	// simulator always has: seed+1..seed+4.
+	// Seed derives the core's independent random streams. Execution jitter,
+	// reservoir sampling and DAG branch choice use per-module streams hashed
+	// from (seed, module, purpose) — module-local randomness is what lets
+	// the sharded executor advance modules concurrently without consuming a
+	// shared stream in racy order. Policy internals keep the shared seed+4
+	// stream (drawn only in serial contexts: sync ticks and source-module
+	// admission).
 	Seed int64
 	// BatchFrac sets the SLO share available for one pass of pure execution
 	// when choosing target batch sizes (default 0.5).
@@ -86,14 +91,33 @@ type Cluster struct {
 	modules []*module
 	board   *core.Board
 
-	// Independent deterministic random streams.
-	execRng *rand.Rand // execution jitter
-	statRng *rand.Rand // reservoirs
-	pathRng *rand.Rand // exclusive DAG branch choice
-	jitter  float64
+	// pathRngs holds per-module deterministic streams for exclusive DAG
+	// branch choice (execution jitter and reservoir streams live on the
+	// modules themselves).
+	pathRngs []*rand.Rand
+	jitter   float64
 
 	batches []int
 	durs    []time.Duration
+
+	// Sharded execution path (nil on classic executors): lanes defer
+	// request terminations to barrier commits and exchange cross-module
+	// events through the executor's ordered mailbox.
+	ls     laneScheduler
+	bridge *laneBridge
+	// inControl marks serial control context (sync/scale/failure callbacks
+	// and barrier commits), where terminations apply immediately even in
+	// lane mode. Only ever flipped while every lane is parked.
+	inControl bool
+}
+
+// streamSeed derives module k's independent seed for one random stream from
+// the cluster seed via FNV-64a, the same derivation style the sweep engine
+// uses for per-run seeds.
+func streamSeed(seed int64, k int, purpose string) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%d|%s", seed, k, purpose)
+	return int64(h.Sum64())
 }
 
 // New validates the configuration and assembles the cluster on the executor.
@@ -142,12 +166,20 @@ func New(cfg Config, exec Executor) (*Cluster, error) {
 		cfg:     cfg,
 		exec:    exec,
 		board:   core.NewBoard(n),
-		execRng: rand.New(rand.NewSource(cfg.Seed + 1)),
-		statRng: rand.New(rand.NewSource(cfg.Seed + 2)),
-		pathRng: rand.New(rand.NewSource(cfg.Seed + 3)),
 		jitter:  cfg.JitterPct,
 		batches: batches,
 		durs:    durs,
+	}
+	for k := 0; k < n; k++ {
+		c.pathRngs = append(c.pathRngs, rand.New(rand.NewSource(streamSeed(cfg.Seed, k, "path"))))
+	}
+	if ls, ok := exec.(laneScheduler); ok {
+		if ls.Lanes() != n {
+			return nil, fmt.Errorf("sched: executor has %d lanes for %d modules", ls.Lanes(), n)
+		}
+		c.ls = ls
+		c.bridge = newLaneBridge(c, n)
+		ls.setBarrierHook(c.bridge.commit)
 	}
 
 	estCfg := core.DefaultEstimatorConfig()
@@ -241,22 +273,55 @@ func (c *Cluster) Probes(k int) ModuleProbes {
 // Deadline, DropModule).
 func (c *Cluster) Inject(req *Request, sendAt time.Duration) {
 	src := c.modules[c.cfg.Spec.Source()]
-	c.exec.Schedule(sendAt+c.cfg.NetDelay, "arrive", func(now time.Duration) {
+	c.schedule(-1, src.idx, sendAt+c.cfg.NetDelay, "arrive", func(now time.Duration) {
 		src.receive(req, now)
 	})
 }
 
+// schedule registers fn on module dst's event lane. src is the module whose
+// event is executing (-1 for host or control context); lane-aware executors
+// route cross-lane schedules through the ordered mailbox, classic executors
+// use the plain global queue.
+func (c *Cluster) schedule(src, dst int, at time.Duration, name string, fn func(now time.Duration)) {
+	if c.ls != nil {
+		c.ls.scheduleLane(src, dst, at, name, fn)
+		return
+	}
+	c.exec.Schedule(at, name, fn)
+}
+
+// control brackets a serial control-context callback (sync, scaling,
+// injected failures): in lane mode, terminations decided here commit
+// immediately rather than deferring to a barrier.
+func (c *Cluster) control(fn func()) {
+	c.inControl = true
+	fn()
+	c.inControl = false
+}
+
 // SyncTick runs one state-synchronization round (§4.1 steps ①-③): every
 // module publishes its snapshot, the policy refreshes from the board, and
-// priority probes record the outcome.
+// priority probes record the outcome. On a lane-aware executor it must run
+// in control context (all lanes parked): it reads and writes cross-module
+// state freely.
 func (c *Cluster) SyncTick(now time.Duration) {
-	for _, m := range c.modules {
-		m.publish(now, c.board)
-	}
-	c.pol.OnSync(now, c.board)
-	for _, m := range c.modules {
-		m.probePriority(now, c.board)
-	}
+	c.control(func() {
+		if c.ls != nil {
+			// Publication is module-local (each module sorts its own state
+			// windows and writes its own board slot), so it fans out across
+			// the shards; the policy refresh below stays serial — it reads
+			// the whole board and draws from the shared policy stream.
+			c.ls.parallelLanes(func(k int) { c.modules[k].publish(now, c.board) })
+		} else {
+			for _, m := range c.modules {
+				m.publish(now, c.board)
+			}
+		}
+		c.pol.OnSync(now, c.board)
+		for _, m := range c.modules {
+			m.probePriority(now, c.board)
+		}
+	})
 }
 
 // ScaleTick runs one scaling-engine round: per-module demand from recent
@@ -266,34 +331,67 @@ func (c *Cluster) ScaleTick(now time.Duration) {
 	if !c.cfg.Scaling.Enabled {
 		return
 	}
-	desired := make([]int, len(c.modules))
-	for k, m := range c.modules {
-		desired[k] = m.desiredWorkers(now)
-	}
-	ApplyGPUBudget(desired, c.cfg.Scaling.TotalGPUs, c.cfg.Scaling.MinWorkers)
-	for k, m := range c.modules {
-		m.applyScale(now, desired[k])
-	}
+	c.control(func() {
+		desired := make([]int, len(c.modules))
+		for k, m := range c.modules {
+			desired[k] = m.desiredWorkers(now)
+		}
+		ApplyGPUBudget(desired, c.cfg.Scaling.TotalGPUs, c.cfg.Scaling.MinWorkers)
+		for k, m := range c.modules {
+			m.applyScale(now, desired[k])
+		}
+	})
 }
 
 // Crash kills up to count active workers of module k (§2 machine failure),
 // returning how many actually died.
 func (c *Cluster) Crash(k int, now time.Duration, count int) int {
-	return c.modules[k].crash(now, count)
+	killed := 0
+	c.control(func() { killed = c.modules[k].crash(now, count) })
+	return killed
 }
 
-// scheduleBatchEnd registers the batch-completion event.
+// scheduleBatchEnd registers the batch-completion event on the worker's own
+// lane.
 func (c *Cluster) scheduleBatchEnd(w *worker, at time.Duration) {
-	c.exec.Schedule(at, "batch-end", func(now time.Duration) { w.batchEnd(now) })
+	c.schedule(w.mod.idx, w.mod.idx, at, "batch-end", func(now time.Duration) { w.batchEnd(now) })
 }
 
 // scheduleWarmup wakes a cold-started worker.
 func (c *Cluster) scheduleWarmup(w *worker, at time.Duration) {
-	c.exec.Schedule(at, "warmup", func(now time.Duration) { w.pump(now) })
+	c.schedule(w.mod.idx, w.mod.idx, at, "warmup", func(now time.Duration) { w.pump(now) })
 }
 
-// drop marks a request dropped at module k and notifies the host.
+// retired reports whether module k should treat the request as terminated:
+// globally committed, or — in lane mode — terminated by module k itself in
+// the current window. A termination decided by *another* module inside the
+// current window becomes visible at the next barrier; that bounded, fully
+// deterministic visibility delay is the ordering contract that lets lanes
+// run concurrently.
+func (c *Cluster) retired(req *Request, k int) bool {
+	if req.Dropped || req.Finished {
+		return true
+	}
+	return c.bridge != nil && c.bridge.sees(k, req)
+}
+
+// drop marks a request dropped at module k and notifies the host. In lane
+// mode the decision is deferred to the next barrier commit, keeping the
+// shared Request untouched while other lanes run.
 func (c *Cluster) drop(req *Request, k int, now time.Duration) {
+	if c.bridge != nil && !c.inControl {
+		if c.retired(req, k) {
+			return
+		}
+		c.bridge.add(k, req, now, true)
+		return
+	}
+	c.commitDrop(req, k, now)
+}
+
+// commitDrop applies a drop decision. The first commit for a request wins;
+// later ones are no-ops.
+func (c *Cluster) commitDrop(req *Request, k int, now time.Duration) {
 	if req.Dropped || req.Finished {
 		return
 	}
@@ -311,29 +409,31 @@ func (c *Cluster) drop(req *Request, k int, now time.Duration) {
 func (c *Cluster) forward(req *Request, k int, now time.Duration) {
 	mod := c.cfg.Spec.Modules[k]
 	if len(mod.Subs) == 0 {
-		c.complete(req, now)
+		c.complete(req, k, now)
 		return
 	}
 	subs := mod.Subs
 	if mod.Exclusive {
 		subs = []int{mod.Subs[c.pickBranch(mod)]}
-		req.ExpectedMerge = 1
+		req.resetMerge(1)
 	} else if len(subs) > 1 {
-		req.ExpectedMerge = len(subs)
+		req.resetMerge(len(subs))
 	}
 	arrive := now + c.cfg.NetDelay
 	for _, sub := range subs {
 		target := c.modules[sub]
-		c.exec.Schedule(arrive, "hop", func(now time.Duration) { target.receive(req, now) })
+		c.schedule(k, sub, arrive, "hop", func(now time.Duration) { target.receive(req, now) })
 	}
 }
 
-// pickBranch selects one successor index for an exclusive fan-out.
+// pickBranch selects one successor index for an exclusive fan-out, drawn
+// from the fan-out module's own path stream.
 func (c *Cluster) pickBranch(mod pipeline.Module) int {
+	rng := c.pathRngs[mod.ID]
 	if len(mod.BranchProb) == 0 {
-		return c.pathRng.Intn(len(mod.Subs))
+		return rng.Intn(len(mod.Subs))
 	}
-	x := c.pathRng.Float64()
+	x := rng.Float64()
 	acc := 0.0
 	for i, p := range mod.BranchProb {
 		acc += p
@@ -344,8 +444,22 @@ func (c *Cluster) pickBranch(mod pipeline.Module) int {
 	return len(mod.Subs) - 1
 }
 
-// complete finalizes a request that finished the sink module.
-func (c *Cluster) complete(req *Request, now time.Duration) {
+// complete finalizes a request that finished the sink module k. Like drop,
+// it defers to the barrier commit in lane mode.
+func (c *Cluster) complete(req *Request, k int, now time.Duration) {
+	if c.bridge != nil && !c.inControl {
+		if c.retired(req, k) {
+			return
+		}
+		c.bridge.add(k, req, now, false)
+		return
+	}
+	c.commitComplete(req, now)
+}
+
+// commitComplete applies a sink completion (no-op if the request already
+// terminated).
+func (c *Cluster) commitComplete(req *Request, now time.Duration) {
 	if req.Dropped || req.Finished {
 		return
 	}

@@ -1,0 +1,426 @@
+package sched
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"pard/internal/depq"
+)
+
+// ShardedExecutor executes the scheduling core with the global event heap
+// partitioned into per-module lanes (one depq-backed queue per module) plus a
+// serial control lane for cluster-wide events (state sync, scaling, injected
+// failures). Independent modules of a pipeline advance concurrently inside
+// lookahead windows; a low-watermark barrier on virtual time keeps the
+// execution deterministic for ANY shard count:
+//
+//   - Within a lane, events fire in (timestamp, insertion-order) order, the
+//     same contract as the global heap.
+//   - Lanes advance together through windows [low, high): low is the minimum
+//     pending lane timestamp across all lanes (the low watermark), high is
+//     low + lookahead, clamped to the next control event. Cross-lane
+//     messages travel at least one network hop (lookahead = the per-hop
+//     delay), so nothing produced inside a window can be consumed inside it:
+//     the lanes of a window are independent and their relative execution
+//     order — and therefore the shard count and thread schedule — is
+//     unobservable.
+//   - Cross-lane events (batch hand-off, DAG fan-out/merge hops) are posted
+//     to per-lane outboxes and exchanged at the window barrier through a
+//     deterministic ordered mailbox keyed by (virtual time, source module,
+//     sequence).
+//   - Control events run serially at the barrier with every lane parked, and
+//     take precedence over lane events at equal timestamps.
+//
+// With a zero lookahead the window degenerates to a single timestamp and
+// same-time cross-lane messages are exchanged through fixpoint sub-rounds;
+// execution stays correct and deterministic, merely without parallelism.
+//
+// A ShardedExecutor is single-use: build, schedule initial events, Run.
+type ShardedExecutor struct {
+	lookahead time.Duration
+	shards    int
+
+	lanes []*laneState
+	ctrl  *laneState
+
+	frontier time.Duration
+	running  bool
+	fired    uint64
+
+	barrierFn func()
+	mailbox   []post // barrier-scope scratch for merged outboxes
+
+	pool *shardPool
+}
+
+// laneEvent is one scheduled callback inside a lane.
+type laneEvent struct {
+	name string
+	fn   func(now time.Duration)
+}
+
+// laneState is one event lane: a min-ordered queue (keyed by timestamp,
+// FIFO-tied by insertion) plus the lane-local clock and this window's outbox.
+type laneState struct {
+	id    int
+	q     *depq.DEPQ[laneEvent]
+	now   time.Duration
+	fired uint64
+
+	// outbox collects cross-lane sends made while this lane executes; it is
+	// flushed into the mailbox at the window barrier.
+	outbox []post
+}
+
+func newLaneState(id int) *laneState {
+	return &laneState{id: id, q: depq.New[laneEvent]()}
+}
+
+// push inserts an event; insertion order breaks timestamp ties (depq keeps
+// FIFO order among equal keys).
+func (l *laneState) push(at time.Duration, name string, fn func(time.Duration)) {
+	l.q.Push(laneEvent{name: name, fn: fn}, int64(at))
+}
+
+// peek returns the next pending timestamp.
+func (l *laneState) peek() (time.Duration, bool) {
+	_, key, ok := l.q.PeekMin()
+	return time.Duration(key), ok
+}
+
+// run fires every pending event with timestamp < hi — or == lo, which
+// guarantees progress when the lookahead is zero — including events the
+// callbacks push onto this same lane.
+func (l *laneState) run(lo, hi time.Duration) {
+	for {
+		ev, key, ok := l.q.PeekMin()
+		if !ok {
+			return
+		}
+		at := time.Duration(key)
+		if at >= hi && at != lo {
+			return
+		}
+		l.q.PopMin()
+		if at > l.now {
+			l.now = at
+		}
+		l.fired++
+		ev.fn(l.now)
+	}
+}
+
+// NewShardedExecutor builds an executor with one lane per module and up to
+// shards concurrent workers (clamped to [1, lanes]). lookahead is the
+// minimum cross-lane event delay — the cluster's per-hop network delay — and
+// bounds how far lanes may run ahead of the low watermark.
+func NewShardedExecutor(lanes, shards int, lookahead time.Duration) *ShardedExecutor {
+	if lanes < 1 {
+		panic(fmt.Sprintf("sched: sharded executor needs >= 1 lanes, got %d", lanes))
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > lanes {
+		shards = lanes
+	}
+	if lookahead < 0 {
+		lookahead = 0
+	}
+	x := &ShardedExecutor{
+		lookahead: lookahead,
+		shards:    shards,
+		ctrl:      newLaneState(-1),
+	}
+	for i := 0; i < lanes; i++ {
+		x.lanes = append(x.lanes, newLaneState(i))
+	}
+	return x
+}
+
+// Lanes returns the lane count (the cluster's module count).
+func (x *ShardedExecutor) Lanes() int { return len(x.lanes) }
+
+// Shards returns the effective worker count.
+func (x *ShardedExecutor) Shards() int { return x.shards }
+
+// Lookahead returns the conservative window size.
+func (x *ShardedExecutor) Lookahead() time.Duration { return x.lookahead }
+
+// Now returns the executor's committed virtual time (the barrier frontier).
+// Lane callbacks should use the time passed to them, which may run ahead of
+// the frontier inside a window.
+func (x *ShardedExecutor) Now() time.Duration { return x.frontier }
+
+// Fired returns the number of events dispatched. The count is deterministic:
+// it is identical for every shard count.
+func (x *ShardedExecutor) Fired() uint64 { return x.fired }
+
+// Schedule registers a control event: it runs serially at the barrier with
+// all lanes parked, so the callback may touch cross-module state (boards,
+// policy, worker pools) freely. Hosts use it for sync ticks, scaling ticks
+// and injected failures. Must not be called from lane callbacks.
+func (x *ShardedExecutor) Schedule(at time.Duration, name string, fn func(now time.Duration)) {
+	if at < x.frontier {
+		at = x.frontier
+	}
+	x.ctrl.push(at, name, fn)
+}
+
+// Ticker repeatedly schedules fn on the control lane every period until the
+// predicate returns false. The first tick fires at Now()+period, mirroring
+// sim.Engine.Ticker.
+func (x *ShardedExecutor) Ticker(period time.Duration, name string, fn func(now time.Duration) bool) {
+	if period <= 0 {
+		panic(fmt.Sprintf("sched: Ticker period must be positive, got %v", period))
+	}
+	var tick func(time.Duration)
+	tick = func(now time.Duration) {
+		if !fn(now) {
+			return
+		}
+		x.Schedule(now+period, name, tick)
+	}
+	x.Schedule(x.frontier+period, name, tick)
+}
+
+// scheduleLane registers fn on lane dst at absolute time at. src identifies
+// the calling context: the executing lane, or -1 for host/control/barrier
+// context (every lane parked). Same-lane and control-context schedules
+// insert directly; cross-lane schedules from a running lane are posted to
+// the source lane's outbox and delivered at the window barrier in mailbox
+// order. This implements the cluster-facing laneScheduler interface.
+func (x *ShardedExecutor) scheduleLane(src, dst int, at time.Duration, name string, fn func(time.Duration)) {
+	l := x.lanes[dst]
+	if src < 0 || !x.running {
+		if at < x.frontier {
+			at = x.frontier
+		}
+		l.push(at, name, fn)
+		return
+	}
+	from := x.lanes[src]
+	if at < from.now {
+		at = from.now
+	}
+	if src == dst {
+		l.push(at, name, fn)
+		return
+	}
+	from.outbox = append(from.outbox, post{src: src, dst: dst, at: at, name: name, fn: fn})
+}
+
+// setBarrierHook registers fn to run at every window barrier (after mailbox
+// delivery, with all lanes parked). The cluster uses it to commit deferred
+// drop/completion intents in deterministic order.
+func (x *ShardedExecutor) setBarrierHook(fn func()) { x.barrierFn = fn }
+
+// minLane returns the low watermark: the earliest pending lane timestamp.
+func (x *ShardedExecutor) minLane() (time.Duration, bool) {
+	var min time.Duration
+	ok := false
+	for _, l := range x.lanes {
+		if at, has := l.peek(); has && (!ok || at < min) {
+			min, ok = at, true
+		}
+	}
+	return min, ok
+}
+
+// runControl fires every control event at exactly time t, including ones the
+// callbacks schedule at t.
+func (x *ShardedExecutor) runControl(t time.Duration) {
+	for {
+		_, key, ok := x.ctrl.q.PeekMin()
+		if !ok || time.Duration(key) != t {
+			return
+		}
+		ev, _, _ := x.ctrl.q.PopMin()
+		if t > x.ctrl.now {
+			x.ctrl.now = t
+		}
+		x.ctrl.fired++
+		ev.fn(t)
+	}
+}
+
+// runWindow executes every lane over [lo, hi), fanned out across the shard
+// pool. Lanes touch disjoint state inside a window (cross-lane effects are
+// mailbox- or barrier-mediated), so the assignment of lanes to shards and
+// the thread schedule cannot change the outcome. Windows with work in a
+// single lane — the common case in sparse phases — run inline on the
+// coordinator, skipping the pool wakeup entirely.
+func (x *ShardedExecutor) runWindow(lo, hi time.Duration) {
+	if x.shards <= 1 {
+		for _, l := range x.lanes {
+			l.run(lo, hi)
+		}
+		return
+	}
+	var only *laneState
+	active := 0
+	for _, l := range x.lanes {
+		if at, ok := l.peek(); ok && (at < hi || at == lo) {
+			if active++; active > 1 {
+				break
+			}
+			only = l
+		}
+	}
+	switch active {
+	case 0:
+		return
+	case 1:
+		only.run(lo, hi)
+	default:
+		x.pool.run(lo, hi)
+	}
+}
+
+// flushOutboxes merges every lane's outbox and delivers the posts into their
+// destination lanes in mailbox order: (virtual time, source module, send
+// sequence). Insertion order assigns the destination-lane FIFO tiebreak, so
+// delivery — and everything downstream of it — is deterministic.
+func (x *ShardedExecutor) flushOutboxes() {
+	all := x.mailbox[:0]
+	for _, l := range x.lanes {
+		if len(l.outbox) > 0 {
+			all = append(all, l.outbox...)
+			l.outbox = l.outbox[:0]
+		}
+	}
+	x.mailbox = all[:0]
+	if len(all) == 0 {
+		return
+	}
+	sortPosts(all)
+	for _, p := range all {
+		x.lanes[p.dst].push(p.at, p.name, p.fn)
+	}
+}
+
+// Run drives the event loop to completion: alternating control rounds and
+// barrier-synchronized lane windows until every queue drains. It returns the
+// final virtual time.
+func (x *ShardedExecutor) Run() time.Duration {
+	if x.running {
+		panic("sched: ShardedExecutor.Run called twice")
+	}
+	x.running = true
+	if x.shards > 1 {
+		x.pool = newShardPool(x.lanes, x.shards)
+		defer x.pool.stop()
+	}
+	for {
+		tCtrl, okC := x.ctrl.peek()
+		tLane, okL := x.minLane()
+		switch {
+		case !okC && !okL:
+			x.running = false
+			x.fired = x.ctrl.fired
+			for _, l := range x.lanes {
+				x.fired += l.fired
+			}
+			return x.frontier
+		case okC && (!okL || tCtrl <= tLane):
+			// Control precedes lane events at equal timestamps.
+			x.frontier = tCtrl
+			x.runControl(tCtrl)
+		default:
+			hi := tLane + x.lookahead
+			if okC && tCtrl < hi {
+				hi = tCtrl
+			}
+			if hi < tLane {
+				hi = tLane // zero lookahead: the window is the watermark itself
+			}
+			x.runWindow(tLane, hi)
+			x.flushOutboxes()
+			if x.barrierFn != nil {
+				x.barrierFn()
+			}
+			if hi > x.frontier {
+				x.frontier = hi
+			}
+		}
+	}
+}
+
+// parallelLanes runs fn(lane) for every lane, fanned out across the shard
+// pool when one is live (control/barrier context between windows), inline
+// otherwise. fn must touch only lane-local state — the cluster uses this to
+// fan out the sync tick's per-module state publication, whose percentile
+// sorts are the dominant serial cost of a sync round.
+func (x *ShardedExecutor) parallelLanes(fn func(lane int)) {
+	if x.pool == nil {
+		for i := range x.lanes {
+			fn(i)
+		}
+		return
+	}
+	x.pool.each(fn)
+}
+
+// shardPool is a set of persistent worker goroutines, one per shard, each
+// owning a static stripe of lanes (lane i belongs to shard i mod S). Workers
+// park between windows; the coordinator wakes them with a job — a lane
+// window to execute or a per-lane function — and waits for all stripes to
+// finish.
+type shardPool struct {
+	lanes  []*laneState
+	shards int
+	start  []chan shardJob
+	wg     sync.WaitGroup
+}
+
+type shardJob struct {
+	lo, hi time.Duration
+	each   func(lane int) // when set, run this instead of the window
+}
+
+func newShardPool(lanes []*laneState, shards int) *shardPool {
+	p := &shardPool{lanes: lanes, shards: shards}
+	for s := 0; s < shards; s++ {
+		ch := make(chan shardJob)
+		p.start = append(p.start, ch)
+		go func(s int, ch chan shardJob) {
+			for j := range ch {
+				for i := s; i < len(p.lanes); i += p.shards {
+					if j.each != nil {
+						j.each(i)
+					} else {
+						p.lanes[i].run(j.lo, j.hi)
+					}
+				}
+				p.wg.Done()
+			}
+		}(s, ch)
+	}
+	return p
+}
+
+// run executes one window across all shards and blocks until the barrier.
+func (p *shardPool) run(lo, hi time.Duration) {
+	p.dispatch(shardJob{lo: lo, hi: hi})
+}
+
+// each runs fn over every lane across the shards and blocks until done.
+func (p *shardPool) each(fn func(lane int)) {
+	p.dispatch(shardJob{each: fn})
+}
+
+func (p *shardPool) dispatch(j shardJob) {
+	p.wg.Add(p.shards)
+	for _, ch := range p.start {
+		ch <- j
+	}
+	p.wg.Wait()
+}
+
+// stop terminates the worker goroutines.
+func (p *shardPool) stop() {
+	for _, ch := range p.start {
+		close(ch)
+	}
+}

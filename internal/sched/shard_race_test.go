@@ -1,0 +1,70 @@
+package sched_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"pard/internal/pipeline"
+	"pard/internal/simgpu"
+	"pard/internal/trace"
+)
+
+// TestShardedExecutorRaceHammer hammers the sharded execution path with the
+// nastiest concurrency mix the core supports — parallel DAG branches sharing
+// Request state across concurrently running lanes, the scaling engine
+// growing/shrinking worker pools between windows, injected machine crashes,
+// every probe recording, and shard counts that tile the lanes unevenly — so
+// that `go test -race` (CI runs it on every push) proves the lane isolation
+// contract: within a window, lanes touch disjoint mutable state, and
+// everything cross-lane is mailbox- or barrier-mediated. Modeled on
+// internal/core's board race test, which plays the same role for the live
+// server's shared state board.
+func TestShardedExecutorRaceHammer(t *testing.T) {
+	specs := map[string]*pipeline.Spec{
+		"da":     pipeline.DA(),
+		"wide":   wideDAG(),
+		"da-dyn": pipeline.DADynamic(0.5),
+	}
+	shardCounts := []int{2, 3, 5, 8}
+	seeds := []int64{1, 2, 3}
+	if testing.Short() {
+		shardCounts = []int{3, 8}
+		seeds = seeds[:1]
+	}
+	for name, spec := range specs {
+		for _, shards := range shardCounts {
+			for _, seed := range seeds {
+				spec, shards, seed := spec, shards, seed
+				t.Run(fmt.Sprintf("%s/sh%d/seed%d", name, shards, seed), func(t *testing.T) {
+					t.Parallel() // stack executors on top of each other too
+					tr := trace.MustGenerate(trace.Config{
+						Kind:     trace.Azure,
+						Duration: 6 * time.Second,
+						PeakRate: 900, // overload: continuous drop pressure
+						Seed:     seed,
+					})
+					_, err := simgpu.Run(simgpu.Config{
+						Spec:       spec,
+						PolicyName: "pard",
+						Trace:      tr,
+						Seed:       seed,
+						SyncPeriod: 150 * time.Millisecond,
+						Shards:     shards,
+						Probes: simgpu.ProbeConfig{
+							QueueDelay: true, LoadFactor: true,
+							Budget: true, Decomposition: true, SampleEvery: 1,
+						},
+						Failures: []simgpu.Failure{
+							{At: 1 * time.Second, Module: 1, Count: 1},
+							{At: 3 * time.Second, Module: 0, Count: 1},
+						},
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+		}
+	}
+}

@@ -91,7 +91,7 @@ func (w *worker) fill(now, te time.Duration) {
 		if !ok {
 			return
 		}
-		if e.retired() {
+		if m.retired(e.req) {
 			continue // dropped in a parallel branch; discard silently
 		}
 		ctx := policy.DecideCtx{
@@ -155,12 +155,11 @@ func (w *worker) batchEnd(now time.Duration) {
 		for i := range batch {
 			mem := &batch[i]
 			r := mem.e.req
-			r.GPU += perReqGPU
-			r.SumQ += mem.q
-			r.SumW += w.execStart - mem.tb
-			r.SumD += w.execDur
+			// Atomic: parallel DAG branches may finish batches holding copies
+			// of the same request in concurrently running lanes.
+			r.charge(perReqGPU, mem.q, w.execStart-mem.tb, w.execDur)
 			m.probeBudget(mem.e.arrive, now)
-			if mem.e.retired() {
+			if m.retired(r) {
 				continue // executed alongside, but the request is already dead
 			}
 			m.cl.forward(r, m.idx, now)

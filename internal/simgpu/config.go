@@ -86,6 +86,16 @@ type Config struct {
 	// PriorityWindow overrides the priority smoothing window when > 0
 	// (Fig. 14d).
 	PriorityWindow time.Duration
+	// Shards selects the execution engine. 0 (default) runs the classic
+	// single global event heap. >= 1 runs the sharded engine: per-module
+	// event lanes advanced by up to Shards concurrent workers under a
+	// low-watermark barrier, with cross-module events exchanged through
+	// deterministic ordered mailboxes. Results are identical for every
+	// Shards >= 1 (Shards == 1 is the sequential baseline of the
+	// differential harness); the two engines' equal-timestamp tie-breaking
+	// differs, so sharded results are compared against Shards == 1, not
+	// against the classic heap.
+	Shards int
 }
 
 func (c *Config) withDefaults() (Config, error) {
@@ -142,6 +152,9 @@ func (c *Config) withDefaults() (Config, error) {
 		if f.At < 0 || f.Count < 1 {
 			return out, fmt.Errorf("simgpu: failure %d: need At >= 0 and Count >= 1", i)
 		}
+	}
+	if out.Shards < 0 {
+		return out, fmt.Errorf("simgpu: negative shard count %d", out.Shards)
 	}
 	if out.FixedWorkers != nil {
 		if len(out.FixedWorkers) != out.Spec.N() {

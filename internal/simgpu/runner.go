@@ -43,11 +43,13 @@ type Result struct {
 }
 
 // Runner executes one configuration: the shared scheduling core
-// (internal/sched) instantiated on the virtual event-heap clock, plus trace
-// injection and result collection.
+// (internal/sched) instantiated on a virtual clock — the classic global
+// event heap, or the sharded per-module lane engine when cfg.Shards >= 1 —
+// plus trace injection and result collection.
 type Runner struct {
 	cfg Config
-	eng *sim.Engine
+	eng *sim.Engine            // classic engine (nil when sharded)
+	shx *sched.ShardedExecutor // sharded engine (nil when classic)
 	cl  *sched.Cluster
 
 	requests    []*sched.Request
@@ -85,7 +87,17 @@ func New(cfg Config) (*Runner, error) {
 		sched.ApplyGPUBudget(workers, full.Scaling.TotalGPUs, full.Scaling.MinWorkers)
 	}
 
-	r := &Runner{cfg: full, eng: sim.New(full.Seed)}
+	r := &Runner{cfg: full}
+	var exec sched.Executor
+	if full.Shards >= 1 {
+		// Sharded engine: one event lane per module, up to Shards workers,
+		// conservative lookahead = the per-hop network delay.
+		r.shx = sched.NewShardedExecutor(full.Spec.N(), full.Shards, full.NetDelay)
+		exec = r.shx
+	} else {
+		r.eng = sim.New(full.Seed)
+		exec = sched.NewSimExecutor(r.eng)
+	}
 	cl, err := sched.New(sched.Config{
 		Spec:             full.Spec,
 		Lib:              full.Lib,
@@ -104,7 +116,7 @@ func New(cfg Config) (*Runner, error) {
 		PriorityWindow:   full.PriorityWindow,
 		OnDone:           r.onDone,
 		OnDrop:           r.onDrop,
-	}, sched.NewSimExecutor(r.eng))
+	}, exec)
 	if err != nil {
 		return nil, err
 	}
@@ -160,6 +172,16 @@ func (r *Runner) Run() (*Result, error) {
 	}
 	r.inject()
 
+	if r.shx != nil {
+		r.runSharded()
+	} else {
+		r.runClassic()
+	}
+	return r.buildResult(), nil
+}
+
+// runClassic drives the single global event heap.
+func (r *Runner) runClassic() {
 	// State synchronization tick (§4.1 steps ①-③).
 	r.eng.Ticker(r.cfg.SyncPeriod, "sync", func(e *sim.Engine) bool {
 		now := e.Now()
@@ -186,8 +208,29 @@ func (r *Runner) Run() (*Result, error) {
 	}
 
 	r.eng.Run(0)
+}
 
-	return r.buildResult(), nil
+// runSharded drives the per-module lane engine. Sync, scaling and failure
+// events run on the executor's serial control lane (every module lane
+// parked), exactly the cross-module context they need.
+func (r *Runner) runSharded() {
+	r.shx.Ticker(r.cfg.SyncPeriod, "sync", func(now time.Duration) bool {
+		r.cl.SyncTick(now)
+		return !r.drained(now)
+	})
+	if r.cfg.Scaling.Enabled {
+		r.shx.Ticker(r.cfg.Scaling.Period, "scale", func(now time.Duration) bool {
+			r.cl.ScaleTick(now)
+			return !r.drained(now)
+		})
+	}
+	for _, f := range r.cfg.Failures {
+		f := f
+		r.shx.Schedule(f.At, "failure", func(now time.Duration) {
+			r.cl.Crash(f.Module, now, f.Count)
+		})
+	}
+	r.shx.Run()
 }
 
 func (r *Runner) buildResult() *Result {
@@ -219,12 +262,18 @@ func (r *Runner) buildResult() *Result {
 		col.Add(rec)
 	}
 
+	fired := uint64(0)
+	if r.shx != nil {
+		fired = r.shx.Fired()
+	} else if r.eng != nil {
+		fired = r.eng.Fired()
+	}
 	res := &Result{
 		Collector:  col,
 		Summary:    col.Summary(),
 		PolicyName: r.cfg.PolicyName,
 		Workload:   r.cfg.Spec.App + "-" + r.cfg.Trace.Name,
-		SimEvents:  r.eng.Fired(),
+		SimEvents:  fired,
 		SumQ:       r.sumQ,
 		SumW:       r.sumW,
 		SumD:       r.sumD,

@@ -28,6 +28,11 @@ type RunOpts struct {
 	SteadyDur time.Duration
 	// Failures injects worker crashes into the run.
 	Failures []simgpu.Failure
+	// Shards selects the simulator's execution engine (see
+	// simgpu.Config.Shards): 0 = classic global event heap, >= 1 = sharded
+	// per-module lanes. Participates in the cache key because the two
+	// engines' results are not interchangeable.
+	Shards int
 }
 
 // Spec identifies one grid point of a sweep: which pipeline, workload and
@@ -60,6 +65,11 @@ func (s Spec) Key() string {
 	fmt.Fprintf(&b, "%s|%s|%s|p=%+v|l=%v|slo=%v|w=%v|r=%v|rd=%v|fw=%v|fail=%v",
 		s.appName(), s.Kind, s.Policy, o.Probes, o.Lambda, o.SLOOverride,
 		o.WindowSize, o.SteadyRate, o.SteadyDur, o.FixedWorkers, o.Failures)
+	if o.Shards != 0 {
+		// Appended only when set so pre-existing disk caches keep matching
+		// classic-engine runs.
+		fmt.Fprintf(&b, "|sh=%d", o.Shards)
+	}
 	if s.Pipeline != nil {
 		// An explicit pipeline is keyed by its full structure: two
 		// overrides sharing an App name must not collide in the cache.
@@ -165,6 +175,7 @@ func (e *Engine) exec(s Spec, seed int64) (*simgpu.Result, error) {
 		PriorityWindow: s.Opts.WindowSize,
 		FixedWorkers:   s.Opts.FixedWorkers,
 		Failures:       s.Opts.Failures,
+		Shards:         s.Opts.Shards,
 	})
 }
 
