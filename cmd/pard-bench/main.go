@@ -7,16 +7,21 @@
 //	pard-bench -only fig8,fig11         # a subset
 //	pard-bench -out results             # also write text + CSV files
 //	pard-bench -parallel 8              # fan simulations out over 8 workers
+//	pard-bench -workers h1:7070,h2:7070 # distribute runs to pard-worker processes
+//	pard-bench -listen :7071            # let pard-worker -join register instead
 //
 // Parallelism never changes the artifacts: at a fixed seed the outputs are
-// byte-identical for any -parallel value (see internal/sweep).
+// byte-identical for any -parallel value, any -workers cluster shape, and
+// any mix of the two (see internal/sweep and internal/dist).
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -24,6 +29,7 @@ import (
 	"time"
 
 	"pard"
+	"pard/internal/dist"
 	"pard/internal/plot"
 	"pard/internal/sweep"
 )
@@ -46,6 +52,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	parallel := fs.Int("parallel", 0, "concurrent simulation runs (0 = all CPU cores, 1 = sequential)")
 	shards := fs.Int("shards", 0, "per-module event shards within each simulation (0 = classic engine; results are cached separately per shard setting)")
 	cacheDir := fs.String("cache-dir", "", "persist finished runs here so repeated invocations reuse them")
+	workers := fs.String("workers", "", "comma-separated pard-worker addresses to distribute runs to (e.g. h1:7070,h2:7070)")
+	listen := fs.String("listen", "", "listen address where pard-worker -join processes register (e.g. :7071)")
+	minWorkers := fs.Int("min-workers", 1, "with -listen: wait for this many workers before starting")
 	progress := fs.Bool("progress", false, "print per-run progress to stderr")
 	list := fs.Bool("list", false, "list experiment IDs and exit")
 	if err := fs.Parse(args); err != nil {
@@ -100,6 +109,80 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err := harness.Engine().DiskError(); err != nil {
 		return err
 	}
+
+	// Distributed mode: grid sweeps fan out to remote pard-worker processes
+	// instead of the in-process pool. Falls back to the pool automatically
+	// when neither flag is given. Outputs are byte-identical either way.
+	var coord *dist.Coordinator
+	if *workers != "" || *listen != "" {
+		coord = dist.NewCoordinator(dist.CoordinatorConfig{
+			Engine:         harness.Engine(),
+			WaitForWorkers: *listen != "",
+			// Cluster lifecycle events (joins, losses, requeues, empty-
+			// cluster waits) are rare and operationally important, so they
+			// log unconditionally — unlike per-run -progress output.
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(stderr, format+"\n", args...)
+			},
+			// Remote executions bypass the engine's OnProgress (cache
+			// installs are not local work), so -progress gets its per-run
+			// lines from the coordinator instead.
+			OnUnitDone: func(done, total int, key, errMsg string) {
+				if !*progress {
+					return
+				}
+				status := "remote"
+				if errMsg != "" {
+					status = "error: " + errMsg
+				}
+				fmt.Fprintf(stderr, "[%d/%d] %s (%s)\n", done, total, key, status)
+			},
+		})
+		defer coord.Close()
+		if *workers != "" {
+			for _, addr := range strings.Split(*workers, ",") {
+				addr = strings.TrimSpace(addr)
+				if addr == "" {
+					continue
+				}
+				// Bounded dial: one firewalled host should fail fast, not
+				// hang the whole invocation on the OS connect timeout.
+				conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+				if err != nil {
+					return fmt.Errorf("worker %s: %w", addr, err)
+				}
+				if err := coord.AddConn(conn); err != nil {
+					return fmt.Errorf("worker %s: %w", addr, err)
+				}
+			}
+		}
+		if *listen != "" {
+			l, err := net.Listen("tcp", *listen)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stderr, "pard-bench: waiting for %d worker(s) on %s (pard-worker -join <addr>)\n",
+				*minWorkers, l.Addr())
+			go func() {
+				// A dead listener means no worker can ever join; close the
+				// coordinator so WaitWorkers (and any sweep) aborts loudly
+				// instead of hanging silently.
+				if err := coord.Listen(l); err != nil {
+					fmt.Fprintf(stderr, "pard-bench: listener failed: %v\n", err)
+					coord.Close()
+				}
+			}()
+			if err := coord.WaitWorkers(context.Background(), *minWorkers); err != nil {
+				return err
+			}
+		}
+		if coord.Workers() == 0 {
+			return errors.New("distributed mode requested but no workers connected")
+		}
+		fmt.Fprintf(stderr, "pard-bench: distributing sweeps across %d worker(s)\n", coord.Workers())
+		harness.Distribute(coord)
+	}
+
 	start := time.Now()
 	ran := 0
 	for _, e := range pard.Experiments() {
@@ -140,6 +223,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		// byte-identical between cold and warm invocations.
 		hits, misses := harness.Engine().DiskStats()
 		fmt.Fprintf(stderr, "cache: %d disk hits, %d misses (%s)\n", hits, misses, *cacheDir)
+	}
+	if coord != nil {
+		// Cluster accounting likewise stays off stdout.
+		st := coord.Stats()
+		fmt.Fprintf(stderr, "cluster: %d units dispatched, %d completed, %d requeued, %d workers (%d lost)\n",
+			st.Dispatched, st.Completed, st.Requeued, coord.Workers(), st.WorkersLost)
 	}
 	fmt.Fprintf(stdout, "ran %d experiments in %.1fs (scale=%s seed=%d parallel=%d)\n",
 		ran, time.Since(start).Seconds(), *scale, *seed, *parallel)

@@ -2,12 +2,15 @@ package main
 
 import (
 	"bytes"
+	"net"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"pard"
+	"pard/internal/dist"
 )
 
 func TestListExperiments(t *testing.T) {
@@ -101,6 +104,87 @@ func TestCacheDirRoundTrip(t *testing.T) {
 		if !bytes.Equal(cold, hot) {
 			t.Fatalf("%s differs between cold and warm runs", filepath.Base(path))
 		}
+	}
+}
+
+// syncBuffer guards concurrent writes: in distributed mode the coordinator
+// logs from its connection goroutines while run() writes from the main one.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestDistributedRunMatchesLocal is the CLI face of the distributed
+// differential harness: pard-bench -workers against two real pard-worker
+// TCP listeners must produce stdout byte-identical to the plain in-process
+// run of the same artifact, and must actually dispatch units remotely.
+func TestDistributedRunMatchesLocal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short")
+	}
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		addrs = append(addrs, l.Addr().String())
+		go dist.Serve(l, dist.WorkerConfig{Workers: 2})
+	}
+
+	var local, distributed bytes.Buffer
+	var errb syncBuffer
+	if err := run([]string{"-scale", "smoke", "-only", "fig13"}, &local, &errb); err != nil {
+		t.Fatal(err)
+	}
+	errb = syncBuffer{}
+	err := run([]string{"-scale", "smoke", "-only", "fig13",
+		"-workers", strings.Join(addrs, ",")}, &distributed, &errb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errb.String(), "distributing sweeps across 2 worker(s)") {
+		t.Fatalf("distributed mode not engaged:\n%s", errb.String())
+	}
+	if !strings.Contains(errb.String(), "units dispatched") {
+		t.Fatalf("no cluster accounting reported:\n%s", errb.String())
+	}
+	// Strip the wall-clock timing lines; everything else must match the
+	// local run byte for byte.
+	strip := func(s string) string {
+		var keep []string
+		for _, line := range strings.Split(s, "\n") {
+			if strings.HasPrefix(line, "=== ") || strings.HasPrefix(line, "ran ") {
+				continue
+			}
+			keep = append(keep, line)
+		}
+		return strings.Join(keep, "\n")
+	}
+	if strip(local.String()) != strip(distributed.String()) {
+		t.Fatalf("distributed artifacts differ from local:\n--- local\n%s\n--- distributed\n%s",
+			local.String(), distributed.String())
+	}
+}
+
+func TestUnreachableWorkerRejected(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-scale", "smoke", "-only", "fig13",
+		"-workers", "127.0.0.1:1"}, &out, &errb); err == nil {
+		t.Fatal("unreachable worker accepted")
 	}
 }
 

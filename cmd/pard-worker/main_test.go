@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pard/internal/dist"
+	"pard/internal/sweep"
+	"pard/internal/trace"
+)
+
+func TestFlagValidation(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run(nil, &out, &errb); err == nil {
+		t.Fatal("no-mode invocation accepted")
+	}
+	if err := run([]string{"-listen", ":0", "-join", "x:1"}, &out, &errb); err == nil {
+		t.Fatal("both modes accepted")
+	}
+	if err := run([]string{"-join", "127.0.0.1:1"}, &out, &errb); err == nil {
+		t.Fatal("join to a dead coordinator succeeded")
+	}
+	// A bad cache dir fails at startup with a clear error, not as a
+	// dropped handshake against every coordinator.
+	if err := run([]string{"-listen", "127.0.0.1:0", "-cache-dir", "/dev/null/not-a-dir"}, &out, &errb); err == nil {
+		t.Fatal("unusable -cache-dir accepted")
+	}
+}
+
+// lockedBuffer lets the test read stderr while run() writes it.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestServeOneCoordinator boots the binary's -listen -once path on an
+// ephemeral port, connects a real coordinator, and runs a grid through it.
+func TestServeOneCoordinator(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short")
+	}
+	var out bytes.Buffer
+	errb := &lockedBuffer{}
+	done := make(chan error, 1)
+	go func() { done <- run([]string{"-listen", "127.0.0.1:0", "-once", "-parallel", "2"}, &out, errb) }()
+
+	// The worker prints its resolved listen address; poll for it.
+	addrRE := regexp.MustCompile(`listening on (\S+)`)
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if m := addrRE.FindStringSubmatch(errb.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker never reported its address:\n%s", errb.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	eng := sweep.New(sweep.Config{Workers: 2, BaseSeed: 5, TraceDuration: 10 * time.Second})
+	c := dist.NewCoordinator(dist.CoordinatorConfig{Engine: eng})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddConn(conn); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := c.Sweep(context.Background(), []sweep.Spec{
+		{App: "tm", Kind: trace.Steady, Policy: "pard"},
+		{App: "tm", Kind: trace.Steady, Policy: "nexus"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 || rs[0].Summary.Total == 0 {
+		t.Fatalf("distributed runs returned %v", rs)
+	}
+	c.Close() // hang up: -once worker exits cleanly
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("worker exited with %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker did not exit after the coordinator hung up")
+	}
+	if !strings.Contains(errb.String(), "running unit") {
+		t.Fatalf("worker logged no unit executions:\n%s", errb.String())
+	}
+}

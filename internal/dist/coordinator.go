@@ -1,0 +1,551 @@
+package dist
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"pard/internal/simgpu"
+	"pard/internal/sweep"
+)
+
+// CoordinatorConfig parameterizes a Coordinator.
+type CoordinatorConfig struct {
+	// Engine is the local sweep engine results merge through: units warm in
+	// its cache (memory or disk) are never dispatched, and every remote
+	// result is installed back into it. Its base seed and trace duration
+	// are the handshake parameters workers configure themselves from.
+	Engine *sweep.Engine
+	// WaitForWorkers makes a sweep with an empty cluster block for workers
+	// to join (listen-mode deployments) instead of failing fast (the
+	// dial-mode default, where losing every worker is an error).
+	WaitForWorkers bool
+	// HandshakeTimeout bounds the Hello/HelloAck exchange on a new
+	// connection (default 10s; < 0 disables).
+	HandshakeTimeout time.Duration
+	// Logf, when set, receives dispatch/requeue/worker-lifecycle logging.
+	Logf func(format string, args ...any)
+	// OnUnitDone, when set, is invoked after each remotely executed unit is
+	// merged (outside the coordinator lock): done/total count the current
+	// sweep's units, errMsg is empty on success. This is the distributed
+	// counterpart of sweep.Config.OnProgress, which remote execution
+	// bypasses (cache installs are not local work).
+	OnUnitDone func(done, total int, key, errMsg string)
+}
+
+// Stats counts coordinator activity; Requeued > 0 means at least one unit
+// was reassigned after a worker loss.
+type Stats struct {
+	Dispatched    int // units sent to workers (reassignments included)
+	Completed     int // unit results accepted
+	Requeued      int // units reassigned after a worker was lost
+	WorkersJoined int
+	WorkersLost   int // workers dropped on connection failure (Close excluded)
+}
+
+// workerConn is one registered worker. The dispatch loop is the connection's
+// only writer and the read loop its only reader, so neither needs a lock on
+// the stream; outstanding/dead are guarded by the coordinator mutex.
+type workerConn struct {
+	id          int
+	conn        net.Conn
+	enc         *gob.Encoder
+	dec         *gob.Decoder
+	capacity    int
+	outstanding map[int]bool
+	dead        bool
+}
+
+// sweepState is the dispatch state of the active sweep.
+type sweepState struct {
+	epoch    uint64
+	units    []WorkUnit
+	pending  []int // unit IDs awaiting assignment
+	results  map[int]*simgpu.Result
+	failures map[int]string
+	aborted  bool // stop dispatching: a unit failed or the context fired
+	ctxErr   error
+	// installs tracks cache merges running off the coordinator lock (disk
+	// I/O must not serialize dispatch); Sweep drains it before returning
+	// so a finished sweep is fully visible to the next one's Lookup.
+	installs sync.WaitGroup
+}
+
+// remaining reports how many units are still unresolved.
+func (st *sweepState) remaining() int { return len(st.units) - len(st.results) - len(st.failures) }
+
+// Coordinator partitions sweep grids into work units and drives a dynamic
+// set of workers: workers may join at any time (even mid-sweep, stealing
+// pending units) and leave at any time (their outstanding units are
+// reassigned). It implements sweep.Distributor. All methods are safe for
+// concurrent use; sweeps themselves are serialized.
+type Coordinator struct {
+	cfg CoordinatorConfig
+
+	sweepMu sync.Mutex // one sweep at a time
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	workers   map[int]*workerConn
+	listeners []net.Listener
+	nextID    int
+	epoch     uint64
+	st        *sweepState
+	closed    bool
+	stats     Stats
+}
+
+// NewCoordinator returns a coordinator merging through cfg.Engine.
+func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
+	if cfg.Engine == nil {
+		panic("dist: CoordinatorConfig.Engine is required")
+	}
+	if cfg.HandshakeTimeout == 0 {
+		cfg.HandshakeTimeout = 10 * time.Second
+	}
+	c := &Coordinator{cfg: cfg, workers: map[int]*workerConn{}}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// logf forwards to the configured logger.
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// AddConn performs the handshake on conn and registers it as a worker. The
+// conn may come from dialing a listening worker, from accepting a worker
+// that dialed in, or from net.Pipe in tests — the protocol is the same.
+func (c *Coordinator) AddConn(conn net.Conn) error {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		conn.Close()
+		return errors.New("dist: coordinator is closed")
+	}
+	if c.cfg.HandshakeTimeout > 0 {
+		conn.SetDeadline(time.Now().Add(c.cfg.HandshakeTimeout))
+	}
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	ecfg := c.cfg.Engine.Config()
+	libFP := ecfg.Library.Fingerprint()
+	if err := enc.Encode(Hello{Proto: ProtoVersion, BaseSeed: ecfg.BaseSeed, TraceDuration: ecfg.TraceDuration, LibraryFP: libFP}); err != nil {
+		conn.Close()
+		return fmt.Errorf("dist: hello: %w", err)
+	}
+	var ack HelloAck
+	if err := dec.Decode(&ack); err != nil {
+		conn.Close()
+		return fmt.Errorf("dist: hello ack: %w", err)
+	}
+	if ack.Proto != ProtoVersion {
+		conn.Close()
+		return fmt.Errorf("dist: protocol version mismatch: coordinator %d, worker %d", ProtoVersion, ack.Proto)
+	}
+	if ack.Err != "" {
+		conn.Close()
+		return fmt.Errorf("dist: worker refused: %s", ack.Err)
+	}
+	if ack.LibraryFP != libFP {
+		conn.Close()
+		return fmt.Errorf("dist: model-profile library mismatch (coordinator %016x, worker %016x): results would silently diverge", libFP, ack.LibraryFP)
+	}
+	if c.cfg.HandshakeTimeout > 0 {
+		conn.SetDeadline(time.Time{})
+	}
+	w := &workerConn{conn: conn, enc: enc, dec: dec, capacity: max(ack.Capacity, 1), outstanding: map[int]bool{}}
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		conn.Close()
+		return errors.New("dist: coordinator is closed")
+	}
+	c.nextID++
+	w.id = c.nextID
+	c.workers[w.id] = w
+	c.stats.WorkersJoined++
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	c.logf("dist: worker %d joined (capacity %d)", w.id, w.capacity)
+
+	go c.readLoop(w)
+	go c.dispatchLoop(w)
+	return nil
+}
+
+// Listen accepts worker connections until the listener closes (Close closes
+// it). It blocks, like http.Serve; run it in a goroutine.
+func (c *Coordinator) Listen(l net.Listener) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		l.Close()
+		return errors.New("dist: coordinator is closed")
+	}
+	c.listeners = append(c.listeners, l)
+	c.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			c.mu.Lock()
+			closed := c.closed
+			c.mu.Unlock()
+			if closed || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		// Handshake concurrently: one slow or half-open peer must not
+		// stall every other worker trying to join behind it.
+		go func() {
+			if err := c.AddConn(conn); err != nil {
+				c.logf("dist: rejected worker connection: %v", err)
+			}
+		}()
+	}
+}
+
+// WaitWorkers blocks until at least n workers are registered (or ctx fires,
+// or the coordinator closes).
+func (c *Coordinator) WaitWorkers(ctx context.Context, n int) error {
+	stop := context.AfterFunc(ctx, func() {
+		c.mu.Lock()
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	})
+	defer stop()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.workers) < n {
+		if c.closed {
+			return errors.New("dist: coordinator is closed")
+		}
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("dist: waiting for %d workers (%d joined): %w", n, len(c.workers), err)
+		}
+		c.cond.Wait()
+	}
+	return nil
+}
+
+// Workers reports the current cluster size.
+func (c *Coordinator) Workers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.workers)
+}
+
+// Stats returns a snapshot of the activity counters.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Close shuts the coordinator down: listeners stop accepting, worker
+// connections close (workers exit cleanly on EOF), and any blocked Sweep or
+// WaitWorkers returns.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	ws := make([]*workerConn, 0, len(c.workers))
+	for _, w := range c.workers {
+		w.dead = true // not a loss: suppress dropWorker accounting
+		ws = append(ws, w)
+	}
+	c.workers = map[int]*workerConn{}
+	ls := c.listeners
+	c.listeners = nil
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	for _, l := range ls {
+		l.Close()
+	}
+	for _, w := range ws {
+		w.conn.Close()
+	}
+}
+
+// Sweep implements sweep.Distributor: it resolves the grid across the
+// cluster and returns results in input order, byte-identical to
+// Engine.Sweep on the same grid. Units warm in the engine's cache are never
+// dispatched; remote results are installed back into it. The first unit
+// failure aborts dispatch (mirroring the engine's early-cancel) and is
+// returned for the lowest-numbered failed unit.
+func (c *Coordinator) Sweep(ctx context.Context, specs []sweep.Spec) ([]*simgpu.Result, error) {
+	c.sweepMu.Lock()
+	defer c.sweepMu.Unlock()
+
+	// Partition: one unit per distinct key, first-appearance order.
+	unitOf := map[string]int{}
+	indexFor := make([]int, len(specs))
+	var units []WorkUnit
+	for i, s := range specs {
+		key := "run|" + s.Key()
+		id, ok := unitOf[key]
+		if !ok {
+			id = len(units)
+			unitOf[key] = id
+			units = append(units, WorkUnit{ID: id, Key: key, Spec: s})
+		}
+		indexFor[i] = id
+	}
+
+	// Merge-in phase one: warm units resolve from the local cache.
+	results := make(map[int]*simgpu.Result, len(units))
+	var pending []int
+	for id := range units {
+		if v, ok := c.cfg.Engine.Lookup(units[id].Key); ok {
+			if r, isRun := v.(*simgpu.Result); isRun {
+				results[id] = r
+				continue
+			}
+		}
+		pending = append(pending, id)
+	}
+	c.logf("dist: sweep of %d specs: %d units (%d cached, %d to run)",
+		len(specs), len(units), len(results), len(pending))
+
+	if len(pending) > 0 {
+		if err := c.runUnits(ctx, units, pending, results); err != nil {
+			return nil, err
+		}
+	}
+
+	out := make([]*simgpu.Result, len(specs))
+	for i, id := range indexFor {
+		out[i] = results[id]
+	}
+	return out, nil
+}
+
+// runUnits drives the cluster until every pending unit is resolved into
+// results, a unit fails, the context fires, or the cluster empties.
+func (c *Coordinator) runUnits(ctx context.Context, units []WorkUnit, pending []int, results map[int]*simgpu.Result) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return errors.New("dist: coordinator is closed")
+	}
+	c.epoch++
+	st := &sweepState{
+		epoch:    c.epoch,
+		units:    units,
+		pending:  pending,
+		results:  results,
+		failures: map[int]string{},
+	}
+	for i := range st.units {
+		st.units[i].Epoch = st.epoch
+	}
+	c.st = st
+	c.cond.Broadcast()
+	c.mu.Unlock()
+
+	stop := context.AfterFunc(ctx, func() {
+		c.mu.Lock()
+		if c.st == st {
+			st.aborted = true
+			st.ctxErr = ctx.Err()
+		}
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	})
+	defer stop()
+	// Drain off-lock cache merges before returning: a caller observing the
+	// sweep as done must find every result via Lookup (warm restarts
+	// dispatch nothing).
+	defer st.installs.Wait()
+
+	c.mu.Lock()
+	defer func() {
+		c.st = nil
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	}()
+	emptyLogged := false
+	for {
+		if st.remaining() == 0 {
+			break
+		}
+		outstanding := 0
+		for _, w := range c.workers {
+			outstanding += len(w.outstanding)
+		}
+		if st.aborted && outstanding == 0 {
+			break
+		}
+		// Closed-coordinator wins over empty-cluster: Close clears the
+		// worker set, and "no workers remain" would misdiagnose a shutdown.
+		if c.closed {
+			return errors.New("dist: coordinator closed mid-sweep")
+		}
+		if !st.aborted && outstanding == 0 && len(c.workers) == 0 {
+			if !c.cfg.WaitForWorkers {
+				return fmt.Errorf("dist: no workers remain (%d of %d units incomplete)", st.remaining(), len(st.units))
+			}
+			if !emptyLogged {
+				c.logf("dist: cluster empty, waiting for workers to rejoin (%d of %d units incomplete)",
+					st.remaining(), len(st.units))
+				emptyLogged = true
+			}
+		} else {
+			emptyLogged = false
+		}
+		c.cond.Wait()
+	}
+	if st.ctxErr != nil {
+		return st.ctxErr
+	}
+	if len(st.failures) > 0 {
+		ids := make([]int, 0, len(st.failures))
+		for id := range st.failures {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		return fmt.Errorf("dist: unit %d (%s) failed: %s", ids[0], st.units[ids[0]].Key, st.failures[ids[0]])
+	}
+	return nil
+}
+
+// nextUnit blocks until a unit is assignable to w (or w is gone / the
+// coordinator closes, reporting false).
+func (c *Coordinator) nextUnit(w *workerConn) (WorkUnit, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if c.closed || w.dead {
+			return WorkUnit{}, false
+		}
+		if st := c.st; st != nil && !st.aborted && len(st.pending) > 0 && len(w.outstanding) < w.capacity {
+			id := st.pending[0]
+			st.pending = st.pending[1:]
+			w.outstanding[id] = true
+			c.stats.Dispatched++
+			return st.units[id], true
+		}
+		c.cond.Wait()
+	}
+}
+
+// dispatchLoop is w's connection writer: it feeds assignable units to the
+// worker until the worker leaves or the coordinator closes.
+func (c *Coordinator) dispatchLoop(w *workerConn) {
+	for {
+		u, ok := c.nextUnit(w)
+		if !ok {
+			return
+		}
+		if err := w.enc.Encode(u); err != nil {
+			c.dropWorker(w, fmt.Errorf("send unit %d: %w", u.ID, err))
+			return
+		}
+	}
+}
+
+// readLoop is w's connection reader: it merges unit results until the
+// stream breaks.
+func (c *Coordinator) readLoop(w *workerConn) {
+	for {
+		var r UnitResult
+		if err := w.dec.Decode(&r); err != nil {
+			c.dropWorker(w, err)
+			return
+		}
+		c.complete(w, r)
+	}
+}
+
+// complete merges one result. The epoch/outstanding guards drop anything
+// stale: results for a previous sweep, for a unit already reassigned after
+// this worker was (wrongly) presumed lost, or for units never assigned.
+func (c *Coordinator) complete(w *workerConn, r UnitResult) {
+	c.mu.Lock()
+	st := c.st
+	if st == nil || r.Epoch != st.epoch || !w.outstanding[r.ID] {
+		c.mu.Unlock()
+		c.logf("dist: dropping stale result (worker %d, unit %d, epoch %d)", w.id, r.ID, r.Epoch)
+		return
+	}
+	delete(w.outstanding, r.ID)
+	c.stats.Completed++
+	switch {
+	case r.Err != "":
+		st.failures[r.ID] = r.Err
+		st.aborted = true
+	case r.Result == nil:
+		st.failures[r.ID] = "worker sent neither result nor error"
+		st.aborted = true
+	case r.Key != st.units[r.ID].Key:
+		// The echoed key is an integrity check: a worker computing under a
+		// different key computed under a different seed.
+		st.failures[r.ID] = fmt.Sprintf("worker %d echoed key %q for a unit assigned as %q", w.id, r.Key, st.units[r.ID].Key)
+		st.aborted = true
+	default:
+		if _, dup := st.results[r.ID]; !dup {
+			st.results[r.ID] = r.Result
+			// Merge into the shared cache off the coordinator lock (Install
+			// gob-encodes to disk when a cache dir is configured; dispatch
+			// must not serialize on that): later sweeps (local or
+			// distributed, this process or — via a shared cache dir — any
+			// other) never recompute this unit.
+			key, res := st.units[r.ID].Key, r.Result
+			st.installs.Add(1)
+			go func() {
+				defer st.installs.Done()
+				c.cfg.Engine.Install(key, res)
+			}()
+		}
+	}
+	done, total := len(st.results)+len(st.failures), len(st.units)
+	errMsg := st.failures[r.ID]
+	key := st.units[r.ID].Key
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	if c.cfg.OnUnitDone != nil {
+		c.cfg.OnUnitDone(done, total, key, errMsg)
+	}
+}
+
+// dropWorker removes w after a connection failure, reassigning its
+// outstanding units (lowest unit ID first, for reproducible logs).
+func (c *Coordinator) dropWorker(w *workerConn, cause error) {
+	c.mu.Lock()
+	if w.dead {
+		c.mu.Unlock()
+		return
+	}
+	w.dead = true
+	delete(c.workers, w.id)
+	c.stats.WorkersLost++
+	var requeued []int
+	if st := c.st; st != nil && !st.aborted {
+		for id := range w.outstanding {
+			if _, done := st.results[id]; !done {
+				requeued = append(requeued, id)
+			}
+		}
+		sort.Ints(requeued)
+		st.pending = append(st.pending, requeued...)
+		c.stats.Requeued += len(requeued)
+	}
+	w.outstanding = map[int]bool{}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	w.conn.Close()
+	c.logf("dist: lost worker %d (%v), requeued %d units", w.id, cause, len(requeued))
+}

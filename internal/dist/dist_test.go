@@ -1,0 +1,358 @@
+package dist
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pard/internal/profile"
+	"pard/internal/simgpu"
+	"pard/internal/sweep"
+	"pard/internal/trace"
+)
+
+// testEngine returns a small engine for protocol-level tests.
+func testEngine() *sweep.Engine {
+	return sweep.New(sweep.Config{Workers: 2, BaseSeed: 3, TraceDuration: 10 * time.Second})
+}
+
+// tinyGrid is a 2-unit grid cheap enough for protocol tests.
+func tinyGrid() []sweep.Spec {
+	return []sweep.Spec{
+		{App: "tm", Kind: trace.Steady, Policy: "pard"},
+		{App: "tm", Kind: trace.Steady, Policy: "naive"},
+	}
+}
+
+func TestNoWorkersFailsFast(t *testing.T) {
+	c := NewCoordinator(CoordinatorConfig{Engine: testEngine()})
+	defer c.Close()
+	_, err := c.Sweep(context.Background(), tinyGrid())
+	if err == nil || !strings.Contains(err.Error(), "no workers") {
+		t.Fatalf("err = %v, want a no-workers failure", err)
+	}
+}
+
+// TestLateJoinerCompletesSweep: in WaitForWorkers mode a sweep started
+// against an empty cluster blocks, then completes once a worker registers —
+// the listen-mode deployment shape.
+func TestLateJoinerCompletesSweep(t *testing.T) {
+	c := NewCoordinator(CoordinatorConfig{Engine: testEngine(), WaitForWorkers: true})
+	defer c.Close()
+	type outcome struct {
+		n   int
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		rs, err := c.Sweep(context.Background(), tinyGrid())
+		done <- outcome{len(rs), err}
+	}()
+	time.Sleep(20 * time.Millisecond) // let the sweep block on the empty cluster
+	startLoopbackWorker(t, c, WorkerConfig{Workers: 1})
+	select {
+	case o := <-done:
+		if o.err != nil || o.n != 2 {
+			t.Fatalf("sweep returned (%d results, %v)", o.n, o.err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("sweep never completed after the worker joined")
+	}
+}
+
+// TestSweepCtxCancelUnblocks: canceling the context releases a sweep stuck
+// waiting for workers that never come.
+func TestSweepCtxCancelUnblocks(t *testing.T) {
+	c := NewCoordinator(CoordinatorConfig{Engine: testEngine(), WaitForWorkers: true})
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := c.Sweep(ctx, tinyGrid())
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+}
+
+// TestPoisonedSpecAbortsDistributedSweep: a unit failing on a worker aborts
+// the sweep with that unit's error, mirroring the engine's early-cancel.
+func TestPoisonedSpecAbortsDistributedSweep(t *testing.T) {
+	c := NewCoordinator(CoordinatorConfig{Engine: testEngine()})
+	defer c.Close()
+	startLoopbackWorker(t, c, WorkerConfig{Workers: 1})
+	specs := append(tinyGrid(), sweep.Spec{App: "bogus", Kind: trace.Steady, Policy: "pard"})
+	_, err := c.Sweep(context.Background(), specs)
+	if err == nil || !strings.Contains(err.Error(), `unknown app "bogus"`) {
+		t.Fatalf("err = %v, want the poisoned unit's failure", err)
+	}
+	// The cluster survives the failed sweep: a clean grid still resolves.
+	if _, err := c.Sweep(context.Background(), tinyGrid()); err != nil {
+		t.Fatalf("sweep after failure: %v", err)
+	}
+}
+
+// TestKeyCrossCheckRejectsSkew speaks the protocol by hand and sends a unit
+// whose key does not match its spec — the worker must refuse to run it
+// (version-skew guard) rather than compute under the wrong key.
+func TestKeyCrossCheckRejectsSkew(t *testing.T) {
+	coordSide, workerSide := net.Pipe()
+	done := make(chan error, 1)
+	go func() { done <- ServeConn(workerSide, WorkerConfig{Workers: 1}) }()
+	enc := gob.NewEncoder(coordSide)
+	dec := gob.NewDecoder(coordSide)
+	hello := Hello{Proto: ProtoVersion, BaseSeed: 3, TraceDuration: 10 * time.Second,
+		LibraryFP: profile.DefaultLibrary().Fingerprint()}
+	if err := enc.Encode(hello); err != nil {
+		t.Fatal(err)
+	}
+	var ack HelloAck
+	if err := dec.Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	spec := sweep.Spec{App: "tm", Kind: trace.Steady, Policy: "pard"}
+	if err := enc.Encode(WorkUnit{Epoch: 1, ID: 0, Key: "run|tampered-key", Spec: spec}); err != nil {
+		t.Fatal(err)
+	}
+	var r UnitResult
+	if err := dec.Decode(&r); err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != 0 || r.Result != nil || !strings.Contains(r.Err, "key mismatch") {
+		t.Fatalf("tampered unit produced %+v, want a key-mismatch refusal", r)
+	}
+	coordSide.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("worker exited with %v after clean close", err)
+	}
+}
+
+// TestVersionMismatchRefused: both sides refuse a peer speaking another
+// protocol version.
+func TestVersionMismatchRefused(t *testing.T) {
+	t.Run("worker-side", func(t *testing.T) {
+		coordSide, workerSide := net.Pipe()
+		done := make(chan error, 1)
+		go func() { done <- ServeConn(workerSide, WorkerConfig{Workers: 1}) }()
+		enc := gob.NewEncoder(coordSide)
+		dec := gob.NewDecoder(coordSide)
+		if err := enc.Encode(Hello{Proto: ProtoVersion + 1}); err != nil {
+			t.Fatal(err)
+		}
+		// The worker still acks (net.Pipe is synchronous, so the refusal
+		// ack must be consumed) but then refuses to serve.
+		var ack HelloAck
+		if err := dec.Decode(&ack); err != nil {
+			t.Fatal(err)
+		}
+		if err := <-done; err == nil || !strings.Contains(err.Error(), "version mismatch") {
+			t.Fatalf("worker accepted a future protocol: %v", err)
+		}
+		coordSide.Close()
+	})
+	t.Run("coordinator-side", func(t *testing.T) {
+		c := NewCoordinator(CoordinatorConfig{Engine: testEngine()})
+		defer c.Close()
+		coordSide, fakeWorker := net.Pipe()
+		go func() {
+			dec := gob.NewDecoder(fakeWorker)
+			enc := gob.NewEncoder(fakeWorker)
+			var h Hello
+			if dec.Decode(&h) == nil {
+				enc.Encode(HelloAck{Proto: ProtoVersion + 1, Capacity: 1})
+			}
+		}()
+		if err := c.AddConn(coordSide); err == nil || !strings.Contains(err.Error(), "version mismatch") {
+			t.Fatalf("coordinator accepted a future protocol: %v", err)
+		}
+	})
+}
+
+// TestStaleEpochResultDropped: a result frame carrying a stale epoch (or an
+// unassigned unit) must be ignored, not merged.
+func TestStaleEpochResultDropped(t *testing.T) {
+	eng := testEngine()
+	c := NewCoordinator(CoordinatorConfig{Engine: eng})
+	defer c.Close()
+	coordSide, fakeWorker := net.Pipe()
+	enc := gob.NewEncoder(fakeWorker)
+	dec := gob.NewDecoder(fakeWorker)
+	var handshake sync.WaitGroup
+	handshake.Add(1)
+	go func() {
+		defer handshake.Done()
+		var h Hello
+		if dec.Decode(&h) != nil {
+			return
+		}
+		enc.Encode(HelloAck{Proto: ProtoVersion, Capacity: 1, LibraryFP: h.LibraryFP})
+	}()
+	if err := c.AddConn(coordSide); err != nil {
+		t.Fatal(err)
+	}
+	handshake.Wait()
+	// Inject a garbage result before any sweep: no state may change.
+	if err := enc.Encode(UnitResult{Epoch: 99, ID: 0, Key: "run|bogus"}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if st := c.Stats(); st.Completed != 0 {
+		t.Fatalf("stale result was merged: %+v", st)
+	}
+	key := "run|" + tinyGrid()[0].Key()
+	if _, ok := eng.Lookup(key); ok {
+		t.Fatal("stale result reached the cache")
+	}
+}
+
+// TestLibraryMismatchRefused: a worker simulating different latency curves
+// would pass the key cross-check (profiles don't travel in keys) yet
+// produce divergent results — both sides must refuse at the handshake.
+func TestLibraryMismatchRefused(t *testing.T) {
+	scaled, err := profile.DefaultLibrary().Scaled(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scaled.Fingerprint() == profile.DefaultLibrary().Fingerprint() {
+		t.Fatal("scaled library fingerprints like the default")
+	}
+	c := NewCoordinator(CoordinatorConfig{Engine: sweep.New(sweep.Config{
+		Workers: 1, BaseSeed: 3, TraceDuration: 10 * time.Second, Library: scaled,
+	})})
+	defer c.Close()
+	coordSide, workerSide := net.Pipe()
+	done := make(chan error, 1)
+	go func() { done <- ServeConn(workerSide, WorkerConfig{Workers: 1}) }()
+	if err := c.AddConn(coordSide); err == nil || !strings.Contains(err.Error(), "library mismatch") {
+		t.Fatalf("coordinator accepted a worker with different profiles: %v", err)
+	}
+	if err := <-done; err == nil || !strings.Contains(err.Error(), "library mismatch") {
+		t.Fatalf("worker served a coordinator with different profiles: %v", err)
+	}
+	// Matching custom libraries on both sides are accepted.
+	c2 := NewCoordinator(CoordinatorConfig{Engine: sweep.New(sweep.Config{
+		Workers: 1, BaseSeed: 3, TraceDuration: 10 * time.Second, Library: scaled,
+	})})
+	defer c2.Close()
+	cs2, ws2 := net.Pipe()
+	go ServeConn(ws2, WorkerConfig{Workers: 1, Library: scaled})
+	if err := c2.AddConn(cs2); err != nil {
+		t.Fatalf("matching custom libraries refused: %v", err)
+	}
+}
+
+// TestEchoedKeyMismatchFailsUnit: a worker echoing a different key than the
+// assignment computed under a different seed; the coordinator must fail the
+// unit instead of merging the result.
+func TestEchoedKeyMismatchFailsUnit(t *testing.T) {
+	c := NewCoordinator(CoordinatorConfig{Engine: testEngine()})
+	defer c.Close()
+	coordSide, fakeWorker := net.Pipe()
+	go func() {
+		dec := gob.NewDecoder(fakeWorker)
+		enc := gob.NewEncoder(fakeWorker)
+		var h Hello
+		if dec.Decode(&h) != nil {
+			return
+		}
+		if enc.Encode(HelloAck{Proto: ProtoVersion, Capacity: 1, LibraryFP: h.LibraryFP}) != nil {
+			return
+		}
+		var u WorkUnit
+		if dec.Decode(&u) != nil {
+			return
+		}
+		enc.Encode(UnitResult{Epoch: u.Epoch, ID: u.ID, Key: "run|tampered", Result: &simgpu.Result{}})
+	}()
+	if err := c.AddConn(coordSide); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.Sweep(context.Background(), tinyGrid()[:1])
+	if err == nil || !strings.Contains(err.Error(), "echoed key") {
+		t.Fatalf("err = %v, want an echoed-key integrity failure", err)
+	}
+	if _, ok := c.cfg.Engine.Lookup("run|" + tinyGrid()[0].Key()); ok {
+		t.Fatal("tampered result reached the cache")
+	}
+}
+
+// TestAddConnAfterClose: a closed coordinator refuses new workers.
+func TestAddConnAfterClose(t *testing.T) {
+	c := NewCoordinator(CoordinatorConfig{Engine: testEngine()})
+	c.Close()
+	coordSide, _ := net.Pipe()
+	if err := c.AddConn(coordSide); err == nil {
+		t.Fatal("closed coordinator accepted a worker")
+	}
+}
+
+// TestDistributedSweepOverTCP runs coordinator and worker over real
+// sockets — the exact production transport — for one small grid.
+func TestDistributedSweepOverTCP(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go Serve(l, WorkerConfig{Workers: 2})
+
+	eng := testEngine()
+	c := NewCoordinator(CoordinatorConfig{Engine: eng})
+	defer c.Close()
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddConn(conn); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := c.Sweep(context.Background(), tinyGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := sweep.New(sweep.Config{Workers: 2, BaseSeed: 3, TraceDuration: 10 * time.Second}).Sweep(tinyGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rs {
+		a := fmt.Sprintf("%+v", rs[i].Summary)
+		b := fmt.Sprintf("%+v", local[i].Summary)
+		if a != b {
+			t.Fatalf("TCP sweep diverged at %d:\n dist:  %s\n local: %s", i, a, b)
+		}
+	}
+}
+
+// TestEngineSweepRoutesThroughCoordinator: the sweep.Distributor seam —
+// Engine.Sweep with a coordinator installed distributes, and its results
+// land in the engine's own cache.
+func TestEngineSweepRoutesThroughCoordinator(t *testing.T) {
+	eng := testEngine()
+	c := NewCoordinator(CoordinatorConfig{Engine: eng})
+	defer c.Close()
+	startLoopbackWorker(t, c, WorkerConfig{Workers: 1})
+	eng.SetDistributor(c)
+	rs, err := eng.Sweep(tinyGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 || rs[0] == nil || rs[1] == nil {
+		t.Fatalf("distributed engine sweep returned %v", rs)
+	}
+	if c.Stats().Dispatched == 0 {
+		t.Fatal("Engine.Sweep did not route through the coordinator")
+	}
+	// The remote results are merged into the engine cache: a direct Run of
+	// the same spec is a pure cache hit (pointer-equal result).
+	r, err := eng.Run(tinyGrid()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != rs[0] {
+		t.Fatal("remote result not merged into the engine cache")
+	}
+}

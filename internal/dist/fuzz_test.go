@@ -1,0 +1,74 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"pard/internal/pipeline"
+	"pard/internal/sweep"
+	"pard/internal/trace"
+)
+
+// FuzzWorkUnit fuzzes the dist protocol's decode surface, mirroring
+// FuzzPipelineSpec for the JSON spec surface: arbitrary bytes fed to the
+// work-unit and result decoders (gob — what the wire carries — plus JSON,
+// the debugging representation) must never panic, and any frame that does
+// decode must re-encode and derive its key without panicking. A worker is
+// one Accept away from arbitrary network input, so this is the package's
+// robustness floor. Seeds cover all four apps, the sharded/steady option
+// variants, a result frame, and malformed shapes.
+func FuzzWorkUnit(f *testing.F) {
+	seedUnits := []WorkUnit{
+		{Epoch: 1, ID: 0, Key: "run|k", Spec: sweep.Spec{App: "tm", Kind: trace.Wiki, Policy: "pard"}},
+		{Epoch: 2, ID: 7, Key: "run|k2", Spec: sweep.Spec{App: "lv", Kind: trace.Tweet, Policy: "nexus"}},
+		{Epoch: 3, ID: 1, Key: "run|k3", Spec: sweep.Spec{App: "gm", Kind: trace.Azure, Policy: "clipper++"}},
+		{Epoch: 4, ID: 2, Key: "run|k4", Spec: sweep.Spec{App: "da", Kind: trace.Steady, Policy: "pard",
+			Opts: sweep.RunOpts{Shards: 4, SteadyRate: 80, SLOOverride: 450 * time.Millisecond}}},
+		{Epoch: 5, ID: 3, Key: "run|k5", Spec: sweep.Spec{Pipeline: pipeline.DADynamic(0.5), Policy: "naive"}},
+	}
+	for _, u := range seedUnits {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(u); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		js, err := json.Marshal(u)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(js)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(UnitResult{Epoch: 1, ID: 0, Key: "run|k", Err: "boom"}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("\x00\x01\x02gob"))
+	f.Add([]byte(`{"Epoch":1,"ID":-9,"Key":"run|","Spec":{"App":"tm"}}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 8<<10 {
+			return // keep adversarial inputs cheap
+		}
+		var u WorkUnit
+		if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&u); err == nil {
+			// A decodable frame must survive the operations the worker
+			// performs on it: key derivation and re-encoding (the result
+			// echo carries the same fields back).
+			_ = u.Spec.Key()
+			var out bytes.Buffer
+			if err := gob.NewEncoder(&out).Encode(u); err != nil {
+				t.Fatalf("decoded unit failed to re-encode: %v", err)
+			}
+		}
+		var r UnitResult
+		_ = gob.NewDecoder(bytes.NewReader(data)).Decode(&r)
+		var ju WorkUnit
+		if err := json.Unmarshal(data, &ju); err == nil {
+			_ = ju.Spec.Key()
+		}
+	})
+}

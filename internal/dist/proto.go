@@ -1,0 +1,86 @@
+// Package dist distributes sweep grids across processes: a coordinator
+// partitions a []sweep.Spec grid into work units keyed by Spec.Key(), hands
+// them to workers over a small gob protocol on any net.Conn (TCP in
+// production, net.Pipe in the loopback test harness), reassigns units when a
+// worker disconnects, and merges results back through the owning
+// sweep.Engine's cache so warm entries are never recomputed anywhere in the
+// cluster.
+//
+// Determinism is the package's fourth repo invariant: every run's seed
+// derives from (base seed, spec key) alone, and base seed plus trace
+// duration travel in the handshake, so a sweep distributed across N workers
+// is byte-identical to Engine.Sweep on one machine — enforced by the
+// loopback differential harness in this package's tests, including under
+// injected worker crashes.
+//
+// Wire protocol (gob, one stream per direction, version-guarded):
+//
+//	coordinator → worker:  Hello, then WorkUnit*
+//	worker → coordinator:  HelloAck, then UnitResult* (any order)
+//
+// Closing the connection is the shutdown signal; there is no goodbye frame.
+// Every dispatch carries the coordinator's sweep epoch (the term/epoch guard
+// of the raft/paxos lineage): results from a previous sweep, a reassigned
+// unit, or a confused worker are identified and dropped instead of merged.
+package dist
+
+import (
+	"time"
+
+	"pard/internal/simgpu"
+	"pard/internal/sweep"
+)
+
+// ProtoVersion guards the wire format. Bump it whenever message layouts,
+// the spec key grammar, or simulation semantics change incompatibly; peers
+// with a different version refuse the handshake instead of silently
+// producing mismatched results.
+const ProtoVersion = 1
+
+// Hello opens a coordinator→worker stream. It carries everything a worker
+// needs to reproduce the coordinator's derivation of per-run seeds and
+// traces — the sweep base seed and the trace duration — plus the
+// fingerprint of the coordinator's model-profile library: profiles do not
+// travel in unit keys, so a peer simulating different latency curves must
+// be refused, not silently merged.
+type Hello struct {
+	Proto         int
+	BaseSeed      int64
+	TraceDuration time.Duration
+	LibraryFP     uint64
+}
+
+// HelloAck completes the handshake. Capacity advertises how many units the
+// worker runs concurrently; the coordinator keeps at most that many
+// outstanding on the connection. LibraryFP echoes the worker's own library
+// fingerprint so both sides can reject the mismatch with a clear error. A
+// non-empty Err means the worker refuses to serve (e.g. its cache dir broke)
+// and tells the coordinator why instead of just dropping the stream.
+type HelloAck struct {
+	Proto     int
+	Capacity  int
+	LibraryFP uint64
+	Err       string
+}
+
+// WorkUnit assigns one grid point. Key is the coordinator's full cache key
+// ("run|" + Spec.Key()); the worker re-derives it from Spec and refuses the
+// unit on mismatch, turning silent key-grammar drift between versions into
+// a loud error. Epoch identifies the sweep the assignment belongs to.
+type WorkUnit struct {
+	Epoch uint64
+	ID    int
+	Key   string
+	Spec  sweep.Spec
+}
+
+// UnitResult reports one finished unit. Exactly one of Result and Err is
+// set. Epoch and ID echo the assignment so the coordinator can drop stale
+// or duplicate completions.
+type UnitResult struct {
+	Epoch  uint64
+	ID     int
+	Key    string
+	Err    string
+	Result *simgpu.Result
+}

@@ -1,0 +1,219 @@
+package dist
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+
+	"pard/internal/profile"
+	"pard/internal/sweep"
+)
+
+// WorkerConfig parameterizes the worker side of one coordinator connection.
+type WorkerConfig struct {
+	// Workers bounds concurrent unit executions and is advertised to the
+	// coordinator as the connection's capacity (<= 0 selects
+	// runtime.NumCPU()).
+	Workers int
+	// CacheDir, when set, persists finished artifacts locally (point it at
+	// a shared volume to turn it into a cluster-wide artifact store).
+	CacheDir string
+	// Library provides the model profiles units run against (default
+	// profile.DefaultLibrary()). Its fingerprint must match the
+	// coordinator's: profiles don't travel in unit keys, so a mismatch is
+	// refused at the handshake rather than silently diverging.
+	Library *profile.Library
+	// Logf, when set, receives per-unit logging.
+	Logf func(format string, args ...any)
+	// HandshakeTimeout bounds how long ServeConn waits for the
+	// coordinator's Hello before giving up the connection (default 10s;
+	// < 0 disables). Without it a port scanner — or any peer that
+	// connects and sends nothing — would pin the worker forever.
+	HandshakeTimeout time.Duration
+	// CrashAfterUnits, when > 0, abruptly closes the connection after that
+	// many results have been sent — the fault-injection hook the
+	// differential harness uses to prove reassignment preserves
+	// byte-identical sweeps. Zero disables.
+	CrashAfterUnits int
+}
+
+func (cfg WorkerConfig) withDefaults() WorkerConfig {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.NumCPU()
+	}
+	if cfg.HandshakeTimeout == 0 {
+		cfg.HandshakeTimeout = 10 * time.Second
+	}
+	if cfg.Library == nil {
+		cfg.Library = profile.DefaultLibrary()
+	}
+	return cfg
+}
+
+// ErrInjectedCrash is returned by ServeConn when the CrashAfterUnits fault
+// hook fired.
+var ErrInjectedCrash = errors.New("dist: injected worker crash")
+
+// ServeConn serves one coordinator over conn: handshake, then a pull/run/
+// push loop until the coordinator closes the connection (the shutdown
+// signal, reported as nil). The sweep engine executing units is built from
+// the coordinator's Hello — base seed and trace duration — so every seed
+// and trace derives exactly as it would have locally on the coordinator.
+func ServeConn(conn net.Conn, cfg WorkerConfig) error {
+	defer conn.Close()
+	cfg = cfg.withDefaults()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+
+	if cfg.HandshakeTimeout > 0 {
+		conn.SetDeadline(time.Now().Add(cfg.HandshakeTimeout))
+	}
+	var h Hello
+	if err := dec.Decode(&h); err != nil {
+		return fmt.Errorf("dist: worker handshake: %w", err)
+	}
+	libFP := cfg.Library.Fingerprint()
+	if h.Proto != ProtoVersion {
+		// Best-effort ack so the coordinator reports the mismatch too.
+		_ = enc.Encode(HelloAck{Proto: ProtoVersion, LibraryFP: libFP})
+		return fmt.Errorf("dist: protocol version mismatch: worker %d, coordinator %d", ProtoVersion, h.Proto)
+	}
+	if h.LibraryFP != libFP {
+		_ = enc.Encode(HelloAck{Proto: ProtoVersion, LibraryFP: libFP})
+		return fmt.Errorf("dist: model-profile library mismatch (worker %016x, coordinator %016x)", libFP, h.LibraryFP)
+	}
+	eng := sweep.New(sweep.Config{
+		Workers:       cfg.Workers,
+		BaseSeed:      h.BaseSeed,
+		TraceDuration: h.TraceDuration,
+		Library:       cfg.Library,
+		CacheDir:      cfg.CacheDir,
+	})
+	if err := eng.DiskError(); err != nil {
+		// Refuse with the reason: the coordinator should see "cache dir
+		// broke on the worker", not a dropped stream.
+		_ = enc.Encode(HelloAck{Proto: ProtoVersion, LibraryFP: libFP, Err: err.Error()})
+		return err
+	}
+	if err := enc.Encode(HelloAck{Proto: ProtoVersion, Capacity: eng.Config().Workers, LibraryFP: libFP}); err != nil {
+		return fmt.Errorf("dist: worker handshake: %w", err)
+	}
+	if cfg.HandshakeTimeout > 0 {
+		conn.SetDeadline(time.Time{})
+	}
+	if cfg.Logf != nil {
+		cfg.Logf("dist: serving coordinator (seed=%d dur=%v capacity=%d)",
+			h.BaseSeed, h.TraceDuration, eng.Config().Workers)
+	}
+
+	var (
+		sendMu  sync.Mutex
+		sent    int
+		crashed bool
+		wg      sync.WaitGroup
+	)
+	// Enforce the advertised capacity locally too: a coordinator is
+	// expected to keep at most Capacity units outstanding, but a buggy or
+	// hostile one must not be able to oversubscribe this worker.
+	sem := make(chan struct{}, cfg.Workers)
+	sendResult := func(r UnitResult) {
+		sendMu.Lock()
+		defer sendMu.Unlock()
+		if crashed {
+			return
+		}
+		if err := enc.Encode(r); err != nil {
+			return // reader will see the broken stream too
+		}
+		sent++
+		if cfg.CrashAfterUnits > 0 && sent >= cfg.CrashAfterUnits {
+			crashed = true
+			conn.Close() // abrupt: in-flight assignments die with the conn
+		}
+	}
+	for {
+		var u WorkUnit
+		if err := dec.Decode(&u); err != nil {
+			wg.Wait()
+			sendMu.Lock()
+			wasCrash := crashed
+			sendMu.Unlock()
+			if wasCrash {
+				return fmt.Errorf("%w (after %d units)", ErrInjectedCrash, sent)
+			}
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+				errors.Is(err, io.ErrClosedPipe) || errors.Is(err, net.ErrClosed) {
+				return nil // coordinator hung up: normal shutdown
+			}
+			return fmt.Errorf("dist: worker receive: %w", err)
+		}
+		wg.Add(1)
+		go func(u WorkUnit) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			sendResult(runUnit(eng, u, cfg.Logf))
+		}(u)
+	}
+}
+
+// runUnit executes one assignment on the worker's engine. The key
+// cross-check makes version skew between coordinator and worker — a changed
+// key grammar would silently change the derived seed — a hard error instead
+// of a wrong-but-plausible result.
+func runUnit(eng *sweep.Engine, u WorkUnit, logf func(string, ...any)) UnitResult {
+	r := UnitResult{Epoch: u.Epoch, ID: u.ID, Key: u.Key}
+	if want := "run|" + u.Spec.Key(); u.Key != want {
+		r.Err = fmt.Sprintf("dist: unit %d key mismatch: coordinator sent %q, worker derives %q (version skew?)", u.ID, u.Key, want)
+		return r
+	}
+	if logf != nil {
+		logf("dist: running unit %d: %s", u.ID, u.Key)
+	}
+	res, err := eng.Run(u.Spec)
+	if err != nil {
+		r.Err = err.Error()
+		return r
+	}
+	r.Result = res
+	return r
+}
+
+// Serve accepts coordinator connections on l and serves each (concurrently)
+// until the listener closes.
+func Serve(l net.Listener, cfg WorkerConfig) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go func() {
+			if err := ServeConn(conn, cfg); err != nil && cfg.Logf != nil {
+				cfg.Logf("dist: connection ended: %v", err)
+			}
+		}()
+	}
+}
+
+// Join dials a coordinator at addr (bounded by the handshake timeout, so a
+// firewalled host fails fast instead of hanging on the OS connect timeout)
+// and serves it until it hangs up.
+func Join(addr string, cfg WorkerConfig) error {
+	timeout := cfg.withDefaults().HandshakeTimeout
+	if timeout < 0 {
+		timeout = 0 // net.DialTimeout: 0 means no timeout
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return fmt.Errorf("dist: join %s: %w", addr, err)
+	}
+	return ServeConn(conn, cfg)
+}

@@ -126,6 +126,14 @@ func (h *Harness) Config() Config { return h.cfg }
 // jobs such as the RAG case study).
 func (h *Harness) Engine() *sweep.Engine { return h.eng }
 
+// Distribute routes the harness's grid sweeps through d — e.g. a
+// dist.Coordinator fanning units out to remote worker processes — instead
+// of the in-process pool. Results are unchanged by construction (per-unit
+// seed derivation), so every figure regenerates byte-identically however
+// the cluster is shaped; single Run calls still execute locally and share
+// the same cache. Pass nil to restore in-process execution.
+func (h *Harness) Distribute(d sweep.Distributor) { h.eng.SetDistributor(d) }
+
 // Trace returns (and caches) the synthetic trace for a workload kind at the
 // harness scale.
 func (h *Harness) Trace(kind trace.Kind) *trace.Trace {

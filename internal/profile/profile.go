@@ -9,8 +9,10 @@ package profile
 import (
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"math"
+	"sort"
 	"time"
 )
 
@@ -115,6 +117,25 @@ type Library struct {
 
 // NewLibrary returns an empty library.
 func NewLibrary() *Library { return &Library{Models: map[string]Model{}} }
+
+// Fingerprint returns a stable, order-independent hash of the library's
+// contents (model names and curve parameters). Two processes whose
+// libraries fingerprint equally simulate identical latency curves — the
+// check distributed sweeps use to refuse a peer whose profiles would
+// silently produce divergent results.
+func (l *Library) Fingerprint() uint64 {
+	names := make([]string, 0, len(l.Models))
+	for name := range l.Models {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	h := fnv.New64a()
+	for _, name := range names {
+		m := l.Models[name]
+		fmt.Fprintf(h, "%s|%d|%d|%d|%v\x00", name, m.Alpha, m.Beta, m.MaxBatch, m.JitterPct)
+	}
+	return h.Sum64()
+}
 
 // Add validates and registers a model, rejecting duplicates.
 func (l *Library) Add(m Model) error {

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -179,11 +180,44 @@ func (e *Engine) exec(s Spec, seed int64) (*simgpu.Result, error) {
 	})
 }
 
+// Distributor executes a grid of specs somewhere other than the local
+// worker pool — e.g. internal/dist's coordinator fanning units out to
+// remote workers — returning results in input order under the same
+// determinism contract as Engine.Sweep. Implementations are expected to
+// merge results through the owning engine's cache (Lookup/Install) so warm
+// entries are never recomputed anywhere.
+type Distributor interface {
+	Sweep(ctx context.Context, specs []Spec) ([]*simgpu.Result, error)
+}
+
+// SetDistributor routes subsequent Sweep calls through d (nil restores the
+// in-process pool). Single Run/Trace calls always execute locally; because
+// seeds derive from (base seed, key) alone, local and distributed
+// executions of the same spec are byte-identical and share one cache.
+func (e *Engine) SetDistributor(d Distributor) {
+	e.mu.Lock()
+	e.distributor = d
+	e.mu.Unlock()
+}
+
 // Sweep executes a grid of specs concurrently (bounded by the engine's
-// worker count) and returns the results in input order. Determinism: each
-// run's seed comes from its spec key, so the grid's results are identical
-// for any worker count.
+// worker count, or routed through the configured Distributor) and returns
+// the results in input order. Determinism: each run's seed comes from its
+// spec key, so the grid's results are identical for any worker count and
+// any placement. The first failure cancels jobs that have not started.
 func (e *Engine) Sweep(specs []Spec) ([]*simgpu.Result, error) {
+	return e.SweepCtx(context.Background(), specs)
+}
+
+// SweepCtx is Sweep with a caller-supplied context: canceling it stops
+// dispatching new runs promptly (in-flight simulations still finish).
+func (e *Engine) SweepCtx(ctx context.Context, specs []Spec) ([]*simgpu.Result, error) {
+	e.mu.Lock()
+	d := e.distributor
+	e.mu.Unlock()
+	if d != nil {
+		return d.Sweep(ctx, specs)
+	}
 	jobs := make([]Job[*simgpu.Result], len(specs))
 	for i, s := range specs {
 		s := s
@@ -192,5 +226,5 @@ func (e *Engine) Sweep(specs []Spec) ([]*simgpu.Result, error) {
 			Run: func(seed int64) (*simgpu.Result, error) { return e.exec(s, seed) },
 		}
 	}
-	return All(e, jobs)
+	return AllCtx(ctx, e, jobs)
 }

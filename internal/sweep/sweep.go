@@ -19,6 +19,8 @@
 package sweep
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"runtime"
@@ -100,6 +102,13 @@ type flight struct {
 	err  error
 }
 
+// finishedFlight wraps an already-computed value as a completed flight.
+func finishedFlight(val any) *flight {
+	f := &flight{done: make(chan struct{}), val: val}
+	close(f.done)
+	return f
+}
+
 // Engine runs jobs on a bounded worker pool with a single-flight cache.
 // All methods are safe for concurrent use.
 type Engine struct {
@@ -108,8 +117,9 @@ type Engine struct {
 	disk    *diskCache
 	diskErr error
 
-	mu    sync.Mutex
-	cache map[string]*flight
+	mu          sync.Mutex
+	cache       map[string]*flight
+	distributor Distributor
 
 	// pmu serializes progress callbacks and guards the counters, separate
 	// from mu so a callback may call back into the engine.
@@ -166,6 +176,72 @@ func (e *Engine) peek(key string) (*flight, bool) {
 	return f, ok
 }
 
+// Lookup returns the finished cached value for key without computing
+// anything: a completed in-memory entry, else a disk hit (which then fills
+// the in-memory cache). In-flight computations and cached errors report a
+// miss. Together with Install it forms the cache injection seam a
+// distributed coordinator merges remote results through.
+func (e *Engine) Lookup(key string) (any, bool) {
+	e.mu.Lock()
+	f, ok := e.cache[key]
+	e.mu.Unlock()
+	if ok {
+		select {
+		case <-f.done:
+			if f.err != nil {
+				return nil, false
+			}
+			return f.val, true
+		default:
+			return nil, false
+		}
+	}
+	if e.disk == nil {
+		return nil, false
+	}
+	v, ok := e.disk.load(key)
+	if !ok {
+		return nil, false
+	}
+	e.mu.Lock()
+	if f, raced := e.cache[key]; raced {
+		// A computation started while we read disk; its (identical, by
+		// determinism) value wins if finished, else this stays a miss.
+		e.mu.Unlock()
+		select {
+		case <-f.done:
+			if f.err == nil {
+				return f.val, true
+			}
+			return nil, false
+		default:
+			return nil, false
+		}
+	}
+	e.cache[key] = finishedFlight(v)
+	e.mu.Unlock()
+	return v, true
+}
+
+// Install records an externally computed value for key — the merge path for
+// results produced by remote workers. The value enters the in-memory cache
+// and, when configured, the disk cache, exactly as if the engine had
+// computed it; installs are not work and never count as progress. An
+// existing entry (finished or in flight) wins: per-key seed derivation makes
+// both values byte-identical, so dropping the duplicate is safe.
+func (e *Engine) Install(key string, val any) {
+	e.mu.Lock()
+	if _, ok := e.cache[key]; ok {
+		e.mu.Unlock()
+		return
+	}
+	e.cache[key] = finishedFlight(val)
+	e.mu.Unlock()
+	if e.disk != nil {
+		e.disk.store(key, val)
+	}
+}
+
 // Do returns the cached value for key, computing it with fn on first use.
 // fn receives the seed derived from the key; concurrent callers with the
 // same key share a single execution and its result (errors included).
@@ -210,10 +286,23 @@ type Job[T any] struct {
 
 // All executes jobs on the engine's bounded pool and returns their values
 // in input order. Duplicate keys (within the batch or versus earlier runs)
-// share one execution through the cache. On failure the first error in
-// input order is returned — independent of scheduling — alongside the
-// partial results.
+// share one execution through the cache. The first failure cancels the
+// batch: queued jobs that have not started are skipped instead of draining
+// the whole grid, and the returned error is the first real (non-cancel)
+// failure in input order.
 func All[T any](e *Engine, jobs []Job[T]) ([]T, error) {
+	return AllCtx(context.Background(), e, jobs)
+}
+
+// AllCtx is All with cancellation plumbed through the worker pool: when ctx
+// is canceled — by the caller, or internally as soon as any job fails — jobs
+// that have not yet claimed a worker slot return ctx's error without
+// running. Jobs already executing finish (simulations are not preemptible)
+// and still enter the cache, so a retried sweep resumes where this one
+// stopped.
+func AllCtx[T any](ctx context.Context, e *Engine, jobs []Job[T]) ([]T, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	out := make([]T, len(jobs))
 	errs := make([]error, len(jobs))
 	var wg sync.WaitGroup
@@ -226,26 +315,59 @@ func All[T any](e *Engine, jobs []Job[T]) ([]T, error) {
 			if f, ok := e.peek(j.Key); ok {
 				// Already cached or in flight: wait without holding a
 				// worker slot, so duplicate keys don't shrink the pool.
-				<-f.done
-				v, err = f.val, f.err
+				select {
+				case <-f.done:
+					v, err = f.val, f.err
+				case <-ctx.Done():
+					errs[i] = ctx.Err()
+					return
+				}
 			} else {
-				e.sem <- struct{}{}
+				select {
+				case e.sem <- struct{}{}:
+				case <-ctx.Done():
+					errs[i] = ctx.Err()
+					return
+				}
+				// Both select cases can be ready at once; re-check so a slot
+				// freed by the failing job is never used to start new work.
+				if cerr := ctx.Err(); cerr != nil {
+					<-e.sem
+					errs[i] = cerr
+					return
+				}
 				v, err = e.Do(j.Key, func(seed int64) (any, error) { return j.Run(seed) })
+				if err != nil {
+					// Cancel before releasing the slot: waiters observe the
+					// cancellation no later than the slot becoming free.
+					cancel()
+				}
 				<-e.sem
 			}
 			if err == nil {
 				out[i] = v.(T)
+			} else {
+				cancel()
 			}
 			errs[i] = err
 		}(i, j)
 	}
 	wg.Wait()
+	// Prefer the first real failure in input order; cancellations are only
+	// its echo (or the caller's, when no job failed at all).
+	var first error
 	for _, err := range errs {
-		if err != nil {
+		if err == nil {
+			continue
+		}
+		if first == nil {
+			first = err
+		}
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
 			return out, err
 		}
 	}
-	return out, nil
+	return out, first
 }
 
 // report delivers one progress callback under the engine lock, keeping

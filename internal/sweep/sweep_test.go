@@ -1,13 +1,17 @@
 package sweep
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"pard/internal/pipeline"
+	"pard/internal/simgpu"
 	"pard/internal/trace"
 )
 
@@ -242,10 +246,11 @@ func TestUnknownAppFailsDeterministically(t *testing.T) {
 	if err == nil {
 		t.Fatal("unknown app accepted")
 	}
-	// The reported error is the first failure in input order, independent
-	// of which worker finished first.
-	if want := `unknown app "bogus-1"`; err.Error() != "sweep: "+want {
-		t.Fatalf("err = %q, want first-in-order %q", err, "sweep: "+want)
+	// Since the first failure cancels the batch, which poisoned spec ran
+	// first is scheduling-dependent — but the reported error is always a
+	// real failure, never the cancellation it triggered.
+	if !strings.HasPrefix(err.Error(), `sweep: unknown app "bogus-`) {
+		t.Fatalf("err = %q, want an unknown-app failure", err)
 	}
 }
 
@@ -287,5 +292,128 @@ func TestParallelMatchesSequential(t *testing.T) {
 	// scheduling dependence).
 	if again := summaries(t, New(cfg), specs); again != par {
 		t.Fatal("parallel sweep not reproducible across engines")
+	}
+}
+
+// TestPoisonedSpecStopsSweepEarly is the early-cancel contract: once one
+// grid point fails, queued runs are skipped instead of draining the grid.
+func TestPoisonedSpecStopsSweepEarly(t *testing.T) {
+	e := New(Config{Workers: 1})
+	var ran atomic.Int64
+	boom := errors.New("poisoned")
+	jobs := make([]Job[int], 41)
+	jobs[0] = Job[int]{Key: "poison", Run: func(int64) (int, error) { return 0, boom }}
+	for i := 1; i < len(jobs); i++ {
+		jobs[i] = Job[int]{Key: fmt.Sprintf("slow-%d", i), Run: func(int64) (int, error) {
+			ran.Add(1)
+			time.Sleep(2 * time.Millisecond)
+			return 0, nil
+		}}
+	}
+	if _, err := All(e, jobs); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the poisoned spec's failure", err)
+	}
+	// The failing job cancels before releasing its worker slot, so nothing
+	// starts after it fails. Goroutine launch order may let a few queued
+	// jobs run before the poisoned one claims the slot — but nowhere near
+	// the whole grid (the pre-cancellation behavior).
+	if n := ran.Load(); n > 10 {
+		t.Fatalf("%d of %d queued jobs ran despite the early failure", n, len(jobs)-1)
+	}
+}
+
+// TestAllCtxCallerCancel: a canceled caller context skips every unstarted
+// job and reports the cancellation when no job actually failed.
+func TestAllCtxCallerCancel(t *testing.T) {
+	e := New(Config{Workers: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	jobs := make([]Job[int], 16)
+	for i := range jobs {
+		jobs[i] = Job[int]{Key: fmt.Sprintf("after-%d", i), Run: func(int64) (int, error) {
+			ran.Add(1)
+			return 0, nil
+		}}
+	}
+	if _, err := AllCtx(ctx, e, jobs); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n != 0 {
+		t.Fatalf("%d jobs ran under a canceled context, want 0", n)
+	}
+}
+
+// TestLookupInstall exercises the cache injection seam remote coordinators
+// merge results through.
+func TestLookupInstall(t *testing.T) {
+	dir := t.TempDir()
+	e := New(Config{Workers: 1, TraceDuration: 30 * time.Second, CacheDir: dir})
+	if err := e.DiskError(); err != nil {
+		t.Fatal(err)
+	}
+	key := "run|" + Spec{App: "tm", Kind: trace.Steady, Policy: "pard"}.Key()
+	if _, ok := e.Lookup(key); ok {
+		t.Fatal("Lookup hit on an empty cache")
+	}
+	res, err := e.Run(Spec{App: "tm", Kind: trace.Steady, Policy: "pard"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := e.Lookup(key)
+	if !ok || v.(*simgpu.Result) != res {
+		t.Fatal("Lookup missed a finished run")
+	}
+
+	// Install into a fresh engine: the value must be visible to Lookup, to
+	// Do (no recomputation), and — via the shared cache dir — to a third
+	// engine straight from disk.
+	e2 := New(Config{Workers: 1, TraceDuration: 30 * time.Second, CacheDir: t.TempDir()})
+	e2.Install(key, res)
+	if v, ok := e2.Lookup(key); !ok || v.(*simgpu.Result) != res {
+		t.Fatal("Install not visible to Lookup")
+	}
+	var computed bool
+	v2, err := e2.Do(key, func(int64) (any, error) { computed = true; return nil, nil })
+	if err != nil || computed || v2.(*simgpu.Result) != res {
+		t.Fatalf("Do recomputed an installed key (computed=%v, err=%v)", computed, err)
+	}
+	e3 := New(Config{Workers: 1, TraceDuration: 30 * time.Second, CacheDir: e2.Config().CacheDir})
+	if _, ok := e3.Lookup(key); !ok {
+		t.Fatal("installed value did not reach the shared disk cache")
+	}
+
+	// An existing entry wins over a later install.
+	e2.Install(key, "bogus")
+	if v, _ := e2.Lookup(key); v.(*simgpu.Result) != res {
+		t.Fatal("Install overwrote an existing entry")
+	}
+}
+
+// recordingDistributor captures the grid Sweep delegates.
+type recordingDistributor struct {
+	specs []Spec
+}
+
+func (d *recordingDistributor) Sweep(_ context.Context, specs []Spec) ([]*simgpu.Result, error) {
+	d.specs = append([]Spec(nil), specs...)
+	return make([]*simgpu.Result, len(specs)), nil
+}
+
+func TestSweepDelegatesToDistributor(t *testing.T) {
+	e := New(Config{Workers: 1, TraceDuration: 30 * time.Second})
+	d := &recordingDistributor{}
+	e.SetDistributor(d)
+	specs := []Spec{{App: "bogus-but-never-run", Kind: trace.Wiki, Policy: "pard"}}
+	if _, err := e.Sweep(specs); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.specs) != 1 || d.specs[0].App != "bogus-but-never-run" {
+		t.Fatalf("distributor saw %+v", d.specs)
+	}
+	// Clearing the distributor restores local execution.
+	e.SetDistributor(nil)
+	if _, err := e.Sweep(specs); err == nil {
+		t.Fatal("local sweep of a bogus app succeeded")
 	}
 }
