@@ -21,9 +21,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"maps"
 	"net"
 	"os"
 	"path/filepath"
+	"slices"
 	"strconv"
 	"strings"
 	"time"
@@ -55,6 +57,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	workers := fs.String("workers", "", "comma-separated pard-worker addresses to distribute runs to (e.g. h1:7070,h2:7070)")
 	listen := fs.String("listen", "", "listen address where pard-worker -join processes register (e.g. :7071)")
 	minWorkers := fs.Int("min-workers", 1, "with -listen: wait for this many workers before starting")
+	speculateAfter := fs.Duration("speculate-after", 0, "re-dispatch a straggling unit to an idle worker after this long (0 = adapt to observed unit latency, negative = never)")
 	progress := fs.Bool("progress", false, "print per-run progress to stderr")
 	list := fs.Bool("list", false, "list experiment IDs and exit")
 	if err := fs.Parse(args); err != nil {
@@ -72,6 +75,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	cfg := pard.ExperimentConfig{Scale: pard.ScaleQuick, Seed: *seed, Parallel: *parallel, CacheDir: *cacheDir, Shards: *shards}
+	if *cacheDir != "" {
+		// Cache maintenance (e.g. a corrupt entry quarantined instead of
+		// failing the run) is rare and worth an operator's attention.
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(stderr, format+"\n", args...)
+		}
+	}
 	switch *scale {
 	case "smoke":
 		cfg.Scale = pard.ScaleSmoke
@@ -118,24 +128,29 @@ func run(args []string, stdout, stderr io.Writer) error {
 		coord = dist.NewCoordinator(dist.CoordinatorConfig{
 			Engine:         harness.Engine(),
 			WaitForWorkers: *listen != "",
+			SpeculateAfter: *speculateAfter,
 			// Cluster lifecycle events (joins, losses, requeues, empty-
-			// cluster waits) are rare and operationally important, so they
-			// log unconditionally — unlike per-run -progress output.
+			// cluster waits, speculative re-dispatches) are rare and
+			// operationally important, so they log unconditionally —
+			// unlike per-run -progress output.
 			Logf: func(format string, args ...any) {
 				fmt.Fprintf(stderr, format+"\n", args...)
 			},
 			// Remote executions bypass the engine's OnProgress (cache
 			// installs are not local work), so -progress gets its per-run
 			// lines from the coordinator instead.
-			OnUnitDone: func(done, total int, key, errMsg string) {
+			OnUnitDone: func(u dist.UnitDone) {
 				if !*progress {
 					return
 				}
-				status := "remote"
-				if errMsg != "" {
-					status = "error: " + errMsg
+				status := fmt.Sprintf("worker %d, %.1fs", u.Worker, u.Elapsed.Seconds())
+				if u.CacheHit {
+					status = fmt.Sprintf("worker %d, warm cache", u.Worker)
 				}
-				fmt.Fprintf(stderr, "[%d/%d] %s (%s)\n", done, total, key, status)
+				if u.Err != "" {
+					status = "error: " + u.Err
+				}
+				fmt.Fprintf(stderr, "[%d/%d] %s (%s)\n", u.Done, u.Total, u.Key, status)
 			},
 		})
 		defer coord.Close()
@@ -227,8 +242,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if coord != nil {
 		// Cluster accounting likewise stays off stdout.
 		st := coord.Stats()
-		fmt.Fprintf(stderr, "cluster: %d units dispatched, %d completed, %d requeued, %d workers (%d lost)\n",
-			st.Dispatched, st.Completed, st.Requeued, coord.Workers(), st.WorkersLost)
+		fmt.Fprintf(stderr, "cluster: %d units dispatched (%d speculative), %d completed, %d requeued, %d cache hits (%d local, %d on workers), %d workers (%d lost)\n",
+			st.Dispatched, st.Speculated, st.Completed, st.Requeued,
+			st.LocalHits+st.RemoteHits, st.LocalHits, st.RemoteHits, coord.Workers(), st.WorkersLost)
+		for _, id := range slices.Sorted(maps.Keys(st.PerWorker)) {
+			ws := st.PerWorker[id]
+			fmt.Fprintf(stderr, "cluster: worker %d: %d completed (%d warm-cache hits, %d speculative assignments)\n",
+				id, ws.Completed, ws.CacheHits, ws.Speculative)
+		}
 	}
 	fmt.Fprintf(stdout, "ran %d experiments in %.1fs (scale=%s seed=%d parallel=%d)\n",
 		ran, time.Since(start).Seconds(), *scale, *seed, *parallel)

@@ -11,7 +11,11 @@
 // coordinator's handshake, every unit's seed derives from its cache key,
 // and results stream back as gob frames — so a grid computed here is
 // byte-identical to the same grid computed anywhere else. A -cache-dir on
-// shared storage turns finished units into a cluster-wide artifact store.
+// shared storage turns finished units into a cluster-wide artifact store:
+// units already present (from an earlier run, another worker, or a
+// pre-seeded volume) are served without re-execution and reported to the
+// coordinator as cache hits, and a corrupt entry is quarantined and
+// recomputed rather than failing the unit.
 package main
 
 import (

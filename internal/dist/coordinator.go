@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"slices"
 	"sort"
 	"sync"
 	"time"
@@ -30,22 +31,63 @@ type CoordinatorConfig struct {
 	HandshakeTimeout time.Duration
 	// Logf, when set, receives dispatch/requeue/worker-lifecycle logging.
 	Logf func(format string, args ...any)
+	// SpeculateAfter tunes straggler speculation: once a dispatched unit's
+	// age exceeds this duration it is queued for one speculative copy on
+	// another worker, first valid result wins (per-key seed derivation makes
+	// the copies byte-identical, so dropping the loser is safe — the same
+	// guard that already absorbs requeue races). Zero (the default) adapts
+	// the threshold from observed unit latency (3× the running mean, with a
+	// floor, once enough units completed); a negative value disables
+	// speculation entirely.
+	SpeculateAfter time.Duration
 	// OnUnitDone, when set, is invoked after each remotely executed unit is
-	// merged (outside the coordinator lock): done/total count the current
-	// sweep's units, errMsg is empty on success. This is the distributed
+	// merged (outside the coordinator lock). This is the distributed
 	// counterpart of sweep.Config.OnProgress, which remote execution
-	// bypasses (cache installs are not local work).
-	OnUnitDone func(done, total int, key, errMsg string)
+	// bypasses (cache installs are not local work). Dropped duplicates of
+	// speculated units are not merges and are never reported.
+	OnUnitDone func(UnitDone)
+}
+
+// UnitDone describes one merged remote unit for CoordinatorConfig.OnUnitDone:
+// Done/Total count the current sweep's units, Err is empty on success,
+// Elapsed is the worker-measured execution time (zero for cache hits), and
+// Worker identifies which worker served it.
+type UnitDone struct {
+	Done     int
+	Total    int
+	Key      string
+	Err      string
+	Elapsed  time.Duration
+	CacheHit bool
+	Worker   int
 }
 
 // Stats counts coordinator activity; Requeued > 0 means at least one unit
-// was reassigned after a worker loss.
+// was reassigned after a worker loss, Speculated > 0 that at least one
+// straggling unit was re-dispatched.
 type Stats struct {
-	Dispatched    int // units sent to workers (reassignments included)
-	Completed     int // unit results accepted
-	Requeued      int // units reassigned after a worker was lost
+	Dispatched int // units sent to workers (reassignments + speculation included)
+	Completed  int // unit results accepted (dropped duplicates excluded)
+	Requeued   int // units reassigned after a worker was lost
+	// Speculated counts speculative copies QUEUED for straggling units; a
+	// copy whose original resolves first (or that finds no eligible worker)
+	// never dispatches, so the per-worker Speculative dispatch counts can
+	// sum below this.
+	Speculated    int
+	LocalHits     int // units resolved from the coordinator's own cache, never dispatched
+	RemoteHits    int // accepted results a worker served from its warm cache
 	WorkersJoined int
 	WorkersLost   int // workers dropped on connection failure (Close excluded)
+	// PerWorker breaks activity down by worker ID (entries survive the
+	// worker's departure).
+	PerWorker map[int]WorkerStats
+}
+
+// WorkerStats counts one worker's activity.
+type WorkerStats struct {
+	Completed   int // results accepted from this worker
+	CacheHits   int // of those, served from the worker's warm cache
+	Speculative int // speculative duplicate assignments sent to this worker
 }
 
 // workerConn is one registered worker. The dispatch loop is the connection's
@@ -70,6 +112,15 @@ type sweepState struct {
 	failures map[int]string
 	aborted  bool // stop dispatching: a unit failed or the context fired
 	ctxErr   error
+	// dispatchedAt is the last dispatch time of each unresolved unit — the
+	// age the speculation scan compares against the straggler threshold.
+	dispatchedAt map[int]time.Time
+	// speculated marks units already granted their one speculative copy.
+	speculated map[int]bool
+	// latencySum/latencyN estimate the mean dispatch→result latency of
+	// executed (non-cache-hit) units, feeding the adaptive threshold.
+	latencySum time.Duration
+	latencyN   int
 	// installs tracks cache merges running off the coordinator lock (disk
 	// I/O must not serialize dispatch); Sweep drains it before returning
 	// so a finished sweep is fully visible to the next one's Lookup.
@@ -109,9 +160,22 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 		cfg.HandshakeTimeout = 10 * time.Second
 	}
 	c := &Coordinator{cfg: cfg, workers: map[int]*workerConn{}}
+	c.stats.PerWorker = map[int]WorkerStats{}
 	c.cond = sync.NewCond(&c.mu)
 	return c
 }
+
+// Speculation scan cadence and adaptive-threshold guards. The floor keeps a
+// noisy estimate over very short units from re-dispatching everything, and
+// the warmup keeps the mean from being read before it means anything.
+// Spurious speculation is never a correctness risk — duplicate results are
+// byte-identical and dropped — only wasted work.
+const (
+	speculateTick         = 25 * time.Millisecond
+	speculateAdaptiveMin  = 250 * time.Millisecond
+	speculateWarmupUnits  = 3
+	speculateAdaptiveMult = 3
+)
 
 // logf forwards to the configured logger.
 func (c *Coordinator) logf(format string, args ...any) {
@@ -249,7 +313,12 @@ func (c *Coordinator) Workers() int {
 func (c *Coordinator) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.stats
+	out := c.stats
+	out.PerWorker = make(map[int]WorkerStats, len(c.stats.PerWorker))
+	for id, ws := range c.stats.PerWorker {
+		out.PerWorker[id] = ws
+	}
+	return out
 }
 
 // Close shuts the coordinator down: listeners stop accepting, worker
@@ -317,6 +386,9 @@ func (c *Coordinator) Sweep(ctx context.Context, specs []sweep.Spec) ([]*simgpu.
 		}
 		pending = append(pending, id)
 	}
+	c.mu.Lock()
+	c.stats.LocalHits += len(results)
+	c.mu.Unlock()
 	c.logf("dist: sweep of %d specs: %d units (%d cached, %d to run)",
 		len(specs), len(units), len(results), len(pending))
 
@@ -343,11 +415,13 @@ func (c *Coordinator) runUnits(ctx context.Context, units []WorkUnit, pending []
 	}
 	c.epoch++
 	st := &sweepState{
-		epoch:    c.epoch,
-		units:    units,
-		pending:  pending,
-		results:  results,
-		failures: map[int]string{},
+		epoch:        c.epoch,
+		units:        units,
+		pending:      pending,
+		results:      results,
+		failures:     map[int]string{},
+		dispatchedAt: map[int]time.Time{},
+		speculated:   map[int]bool{},
 	}
 	for i := range st.units {
 		st.units[i].Epoch = st.epoch
@@ -366,6 +440,11 @@ func (c *Coordinator) runUnits(ctx context.Context, units []WorkUnit, pending []
 		c.mu.Unlock()
 	})
 	defer stop()
+	if c.cfg.SpeculateAfter >= 0 {
+		stopSpec := make(chan struct{})
+		defer close(stopSpec)
+		go c.speculationLoop(st, stopSpec)
+	}
 	// Drain off-lock cache merges before returning: a caller observing the
 	// sweep as done must find every result via Lookup (warm restarts
 	// dispatch nothing).
@@ -422,8 +501,79 @@ func (c *Coordinator) runUnits(ctx context.Context, units []WorkUnit, pending []
 	return nil
 }
 
+// speculationLoop periodically scans the active sweep for straggling units
+// until the sweep finishes or stop closes.
+func (c *Coordinator) speculationLoop(st *sweepState, stop <-chan struct{}) {
+	t := time.NewTicker(speculateTick)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		c.mu.Lock()
+		if c.closed || c.st != st {
+			c.mu.Unlock()
+			return
+		}
+		c.speculateLocked(st)
+		c.mu.Unlock()
+	}
+}
+
+// speculateLocked (c.mu held) queues one speculative copy of every
+// dispatched unit older than the straggler threshold. The copy goes to the
+// back of pending, so first dispatches are never delayed, and nextUnit
+// refuses to hand it to a worker already running the unit. First valid
+// result wins; the loser is dropped by the outstanding/duplicate guards.
+func (c *Coordinator) speculateLocked(st *sweepState) {
+	if st.aborted {
+		return
+	}
+	threshold := c.cfg.SpeculateAfter
+	if threshold == 0 {
+		if st.latencyN < speculateWarmupUnits {
+			return
+		}
+		threshold = speculateAdaptiveMult * st.latencySum / time.Duration(st.latencyN)
+		threshold = max(threshold, speculateAdaptiveMin)
+	}
+	now := time.Now()
+	queued := false
+	for id, at := range st.dispatchedAt {
+		if st.speculated[id] || now.Sub(at) < threshold {
+			continue
+		}
+		if _, done := st.results[id]; done {
+			continue
+		}
+		if _, failed := st.failures[id]; failed {
+			continue
+		}
+		if slices.Contains(st.pending, id) {
+			// A copy is already queued (e.g. speculation re-armed after a
+			// worker loss before the first copy dispatched).
+			continue
+		}
+		st.speculated[id] = true
+		st.pending = append(st.pending, id)
+		c.stats.Speculated++
+		queued = true
+		c.logf("dist: unit %d straggling (%v > %v), queueing speculative copy",
+			id, now.Sub(at).Round(time.Millisecond), threshold.Round(time.Millisecond))
+	}
+	if queued {
+		// Only wake the dispatch loops when there is new work; an
+		// unconditional broadcast would storm every blocked worker each tick
+		// for the whole sweep.
+		c.cond.Broadcast()
+	}
+}
+
 // nextUnit blocks until a unit is assignable to w (or w is gone / the
-// coordinator closes, reporting false).
+// coordinator closes, reporting false). Units the worker is already running
+// are skipped: a speculative copy must land on a different worker to help.
 func (c *Coordinator) nextUnit(w *workerConn) (WorkUnit, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -431,12 +581,37 @@ func (c *Coordinator) nextUnit(w *workerConn) (WorkUnit, bool) {
 		if c.closed || w.dead {
 			return WorkUnit{}, false
 		}
-		if st := c.st; st != nil && !st.aborted && len(st.pending) > 0 && len(w.outstanding) < w.capacity {
-			id := st.pending[0]
-			st.pending = st.pending[1:]
-			w.outstanding[id] = true
-			c.stats.Dispatched++
-			return st.units[id], true
+		if st := c.st; st != nil && !st.aborted && len(w.outstanding) < w.capacity {
+			for i := 0; i < len(st.pending); {
+				id := st.pending[i]
+				if _, done := st.results[id]; done {
+					// Resolved while queued (a speculative copy whose
+					// original came through): drop it for everyone.
+					st.pending = append(st.pending[:i], st.pending[i+1:]...)
+					continue
+				}
+				if w.outstanding[id] {
+					i++
+					continue
+				}
+				st.pending = append(st.pending[:i], st.pending[i+1:]...)
+				duplicate := c.outstandingElsewhere(w, id)
+				w.outstanding[id] = true
+				if _, ok := st.dispatchedAt[id]; !ok {
+					// A speculative copy keeps the original dispatch time:
+					// the unit really has been pending that long, and a
+					// reset would feed near-zero samples into the adaptive
+					// latency estimate when the original completes.
+					st.dispatchedAt[id] = time.Now()
+				}
+				c.stats.Dispatched++
+				if duplicate {
+					ws := c.stats.PerWorker[w.id]
+					ws.Speculative++
+					c.stats.PerWorker[w.id] = ws
+				}
+				return st.units[id], true
+			}
 		}
 		c.cond.Wait()
 	}
@@ -473,6 +648,9 @@ func (c *Coordinator) readLoop(w *workerConn) {
 // complete merges one result. The epoch/outstanding guards drop anything
 // stale: results for a previous sweep, for a unit already reassigned after
 // this worker was (wrongly) presumed lost, or for units never assigned.
+// With speculation the same unit can be legitimately outstanding on two
+// workers at once; the first valid result wins and the loser — by per-key
+// seed derivation a byte-identical copy — is dropped here.
 func (c *Coordinator) complete(w *workerConn, r UnitResult) {
 	c.mu.Lock()
 	st := c.st
@@ -482,7 +660,27 @@ func (c *Coordinator) complete(w *workerConn, r UnitResult) {
 		return
 	}
 	delete(w.outstanding, r.ID)
+	_, succeeded := st.results[r.ID]
+	_, failed := st.failures[r.ID]
+	if succeeded || failed {
+		// The speculative race was lost (or won — either way a copy of this
+		// unit was merged first, as a result or as the recorded failure):
+		// not a completion, just freed capacity. Checking failures too keeps
+		// a unit from landing in both maps and double-counting Done.
+		c.cond.Broadcast()
+		c.mu.Unlock()
+		c.logf("dist: dropping duplicate result for unit %d from worker %d (speculation race resolved)", r.ID, w.id)
+		return
+	}
 	c.stats.Completed++
+	ws := c.stats.PerWorker[w.id]
+	ws.Completed++
+	if at, ok := st.dispatchedAt[r.ID]; ok && r.Err == "" && !r.CacheHit {
+		// Executed units feed the adaptive straggler estimate; cache hits
+		// return in microseconds and would drag it toward zero.
+		st.latencySum += time.Since(at)
+		st.latencyN++
+	}
 	switch {
 	case r.Err != "":
 		st.failures[r.ID] = r.Err
@@ -496,29 +694,47 @@ func (c *Coordinator) complete(w *workerConn, r UnitResult) {
 		st.failures[r.ID] = fmt.Sprintf("worker %d echoed key %q for a unit assigned as %q", w.id, r.Key, st.units[r.ID].Key)
 		st.aborted = true
 	default:
-		if _, dup := st.results[r.ID]; !dup {
-			st.results[r.ID] = r.Result
-			// Merge into the shared cache off the coordinator lock (Install
-			// gob-encodes to disk when a cache dir is configured; dispatch
-			// must not serialize on that): later sweeps (local or
-			// distributed, this process or — via a shared cache dir — any
-			// other) never recompute this unit.
-			key, res := st.units[r.ID].Key, r.Result
-			st.installs.Add(1)
-			go func() {
-				defer st.installs.Done()
-				c.cfg.Engine.Install(key, res)
-			}()
+		if r.CacheHit {
+			c.stats.RemoteHits++
+			ws.CacheHits++
 		}
+		st.results[r.ID] = r.Result
+		delete(st.dispatchedAt, r.ID)
+		// Merge into the shared cache off the coordinator lock (Install
+		// gob-encodes to disk when a cache dir is configured; dispatch
+		// must not serialize on that): later sweeps (local or
+		// distributed, this process or — via a shared cache dir — any
+		// other) never recompute this unit.
+		key, res := st.units[r.ID].Key, r.Result
+		st.installs.Add(1)
+		go func() {
+			defer st.installs.Done()
+			c.cfg.Engine.Install(key, res)
+		}()
 	}
+	c.stats.PerWorker[w.id] = ws
 	done, total := len(st.results)+len(st.failures), len(st.units)
-	errMsg := st.failures[r.ID]
-	key := st.units[r.ID].Key
+	ud := UnitDone{
+		Done: done, Total: total,
+		Key: st.units[r.ID].Key, Err: st.failures[r.ID],
+		Elapsed: r.Elapsed, CacheHit: r.CacheHit, Worker: w.id,
+	}
 	c.cond.Broadcast()
 	c.mu.Unlock()
 	if c.cfg.OnUnitDone != nil {
-		c.cfg.OnUnitDone(done, total, key, errMsg)
+		c.cfg.OnUnitDone(ud)
 	}
+}
+
+// outstandingElsewhere reports whether id is outstanding on a live worker
+// other than w (c.mu held).
+func (c *Coordinator) outstandingElsewhere(w *workerConn, id int) bool {
+	for _, other := range c.workers {
+		if other != w && other.outstanding[id] {
+			return true
+		}
+	}
+	return false
 }
 
 // dropWorker removes w after a connection failure, reassigning its
@@ -535,12 +751,35 @@ func (c *Coordinator) dropWorker(w *workerConn, cause error) {
 	var requeued []int
 	if st := c.st; st != nil && !st.aborted {
 		for id := range w.outstanding {
-			if _, done := st.results[id]; !done {
-				requeued = append(requeued, id)
+			if _, done := st.results[id]; done {
+				continue
 			}
+			if c.outstandingElsewhere(w, id) {
+				// A copy is still running on a live worker; it covers this
+				// unit, no requeue needed. Re-arm speculation so that copy
+				// gets a backup of its own if it too turns out to straggle.
+				delete(st.speculated, id)
+				continue
+			}
+			if slices.Contains(st.pending, id) {
+				// Already queued (a speculative copy not yet dispatched):
+				// requeueing would double-queue the unit.
+				delete(st.dispatchedAt, id)
+				delete(st.speculated, id)
+				continue
+			}
+			requeued = append(requeued, id)
 		}
 		sort.Ints(requeued)
 		st.pending = append(st.pending, requeued...)
+		for _, id := range requeued {
+			// The unit is no longer running anywhere: its age is meaningless
+			// until redispatch, so keep it out of the speculation scan — and
+			// re-arm its speculative copy, since the dispatch it covered died
+			// with the worker.
+			delete(st.dispatchedAt, id)
+			delete(st.speculated, id)
+		}
 		c.stats.Requeued += len(requeued)
 	}
 	w.outstanding = map[int]bool{}

@@ -158,6 +158,53 @@ func TestDistributedDifferential(t *testing.T) {
 		}
 	})
 
+	// Worker-side warm cache: after one sweep through a caching worker, a
+	// COLD coordinator re-resolves the whole grid by dispatching every unit
+	// to workers that all serve from the shared cache dir — zero executed
+	// units cluster-wide, proven by the hit counters, at every cluster size.
+	t.Run("worker-warm-cache", func(t *testing.T) {
+		if testing.Short() {
+			t.Skip("skipped in -short (full CI differential step covers it)")
+		}
+		cacheDir := t.TempDir()
+		warm := NewCoordinator(CoordinatorConfig{Engine: sweep.New(diffEngineConfig())})
+		startLoopbackWorker(t, warm, WorkerConfig{Workers: 4, CacheDir: cacheDir})
+		if _, err := warm.Sweep(context.Background(), grid); err != nil {
+			t.Fatal(err)
+		}
+		warm.Close()
+		for _, workers := range []int{1, 2, 4} {
+			t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+				c := NewCoordinator(CoordinatorConfig{Engine: sweep.New(diffEngineConfig())})
+				defer c.Close()
+				for i := 0; i < workers; i++ {
+					startLoopbackWorker(t, c, WorkerConfig{Workers: 2, CacheDir: cacheDir})
+				}
+				got, err := c.Sweep(context.Background(), grid)
+				if err != nil {
+					t.Fatal(err)
+				}
+				st := c.Stats()
+				if st.Dispatched == 0 || st.Completed != st.Dispatched || st.RemoteHits != st.Completed {
+					t.Fatalf("warm workers executed units (want every dispatch a remote hit): %+v", st)
+				}
+				if st.LocalHits != 0 {
+					t.Fatalf("cold coordinator reported local hits: %+v", st)
+				}
+				perWorkerHits := 0
+				for _, ws := range st.PerWorker {
+					perWorkerHits += ws.CacheHits
+				}
+				if perWorkerHits != st.RemoteHits {
+					t.Fatalf("per-worker hit counters (%d) disagree with RemoteHits (%d)", perWorkerHits, st.RemoteHits)
+				}
+				if !bytes.Equal(encodeResults(t, got), want) {
+					diffFailure(t, fmt.Sprintf("worker-warm-cache/workers=%d", workers), baseline, got)
+				}
+			})
+		}
+	})
+
 	// Warm restart: a second coordinator sharing the first engine's cache
 	// resolves the whole grid without dispatching a single unit — the
 	// "never recomputed anywhere in the cluster" half of the contract.
@@ -180,8 +227,65 @@ func TestDistributedDifferential(t *testing.T) {
 		if again := c.Stats().Dispatched; again != first {
 			t.Fatalf("warm sweep dispatched %d new units, want 0", again-first)
 		}
+		if hits := c.Stats().LocalHits; hits == 0 {
+			t.Fatalf("warm sweep reported no local hits: %+v", c.Stats())
+		}
 		if !bytes.Equal(encodeResults(t, got), want) {
 			diffFailure(t, "warm-cache-no-dispatch", baseline, got)
 		}
 	})
+}
+
+// TestSpeculationDifferential injects a straggler — a worker that stalls
+// every execution far beyond the speculation threshold — and proves the
+// coordinator re-dispatches the stuck units to idle workers with the merged
+// grid still gob byte-identical to the local run: first valid result wins,
+// the straggler's late duplicates are dropped by the outstanding/duplicate
+// guards. Runs in -short too (the CI speculation step), at 2 and 4 workers.
+func TestSpeculationDifferential(t *testing.T) {
+	grid := diffGrid()
+	local := sweep.New(diffEngineConfig())
+	baseline, err := local.Sweep(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := encodeResults(t, baseline)
+
+	for _, workers := range []int{2, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			c := NewCoordinator(CoordinatorConfig{
+				Engine:         sweep.New(diffEngineConfig()),
+				SpeculateAfter: 100 * time.Millisecond,
+				Logf:           t.Logf,
+			})
+			defer c.Close()
+			// The straggler joins first so its dispatch loop is running
+			// before the sweep starts; capacity 1 wedges exactly one unit.
+			startLoopbackWorker(t, c, WorkerConfig{Workers: 1, UnitDelay: 20 * time.Second})
+			for i := 1; i < workers; i++ {
+				startLoopbackWorker(t, c, WorkerConfig{Workers: 2})
+			}
+			got, err := c.Sweep(context.Background(), grid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := c.Stats()
+			if st.Speculated == 0 {
+				t.Fatalf("straggler never triggered speculation: %+v", st)
+			}
+			if st.WorkersLost != 0 || st.Requeued != 0 {
+				t.Fatalf("speculation must not be accounted as worker loss: %+v", st)
+			}
+			specDispatches := 0
+			for _, ws := range st.PerWorker {
+				specDispatches += ws.Speculative
+			}
+			if specDispatches == 0 {
+				t.Fatalf("no speculative copy was ever dispatched: %+v", st)
+			}
+			if !bytes.Equal(encodeResults(t, got), want) {
+				diffFailure(t, fmt.Sprintf("speculation/workers=%d", workers), baseline, got)
+			}
+		})
+	}
 }

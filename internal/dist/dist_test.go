@@ -356,3 +356,187 @@ func TestEngineSweepRoutesThroughCoordinator(t *testing.T) {
 		t.Fatal("remote result not merged into the engine cache")
 	}
 }
+
+// TestStatsAccounting pins the coordinator's counters across the three ways
+// a unit resolves: remote execution, a coordinator-cache hit (no dispatch),
+// and a warm worker-cache hit (dispatched, not executed).
+func TestStatsAccounting(t *testing.T) {
+	dir := t.TempDir()
+	c := NewCoordinator(CoordinatorConfig{Engine: testEngine()})
+	defer c.Close()
+	startLoopbackWorker(t, c, WorkerConfig{Workers: 1, CacheDir: dir})
+	grid := tinyGrid()
+	if _, err := c.Sweep(context.Background(), grid); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Dispatched != 2 || st.Completed != 2 || st.LocalHits != 0 ||
+		st.RemoteHits != 0 || st.Speculated != 0 || st.Requeued != 0 {
+		t.Fatalf("cold sweep stats: %+v", st)
+	}
+	if ws := st.PerWorker[1]; ws.Completed != 2 || ws.CacheHits != 0 || ws.Speculative != 0 {
+		t.Fatalf("cold sweep per-worker stats: %+v", st.PerWorker)
+	}
+
+	// Same grid again: the coordinator's own cache short-circuits dispatch.
+	if _, err := c.Sweep(context.Background(), grid); err != nil {
+		t.Fatal(err)
+	}
+	if st = c.Stats(); st.Dispatched != 2 || st.LocalHits != 2 {
+		t.Fatalf("warm-coordinator sweep stats: %+v", st)
+	}
+
+	// A fresh coordinator with a cold engine but the same worker cache dir:
+	// every unit is dispatched again, and every one reports a worker hit.
+	c2 := NewCoordinator(CoordinatorConfig{Engine: testEngine()})
+	defer c2.Close()
+	startLoopbackWorker(t, c2, WorkerConfig{Workers: 1, CacheDir: dir})
+	if _, err := c2.Sweep(context.Background(), grid); err != nil {
+		t.Fatal(err)
+	}
+	st2 := c2.Stats()
+	if st2.Dispatched != 2 || st2.Completed != 2 || st2.RemoteHits != 2 || st2.LocalHits != 0 {
+		t.Fatalf("warm-worker sweep stats: %+v", st2)
+	}
+	if ws := st2.PerWorker[1]; ws.Completed != 2 || ws.CacheHits != 2 {
+		t.Fatalf("warm-worker per-worker stats: %+v", st2.PerWorker)
+	}
+}
+
+// TestStatsAccountingUnderSpeculation: a wedged worker forces a speculative
+// duplicate of its unit; the winning copy is counted once, the loser is
+// dropped — Completed never exceeds the number of units.
+func TestStatsAccountingUnderSpeculation(t *testing.T) {
+	c := NewCoordinator(CoordinatorConfig{Engine: testEngine(), SpeculateAfter: 50 * time.Millisecond})
+	defer c.Close()
+	startLoopbackWorker(t, c, WorkerConfig{Workers: 1, UnitDelay: 20 * time.Second})
+	startLoopbackWorker(t, c, WorkerConfig{Workers: 1})
+	rs, err := c.Sweep(context.Background(), tinyGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 || rs[0] == nil || rs[1] == nil {
+		t.Fatalf("sweep returned %v", rs)
+	}
+	st := c.Stats()
+	if st.Speculated == 0 {
+		t.Fatalf("wedged worker never triggered speculation: %+v", st)
+	}
+	if st.Completed != 2 {
+		t.Fatalf("Completed = %d, want 2 (duplicates must not be counted): %+v", st.Completed, st)
+	}
+	if st.Dispatched < 3 || st.Dispatched > 2+st.Speculated {
+		t.Fatalf("Dispatched = %d, want 2 originals + 1..%d speculative: %+v", st.Dispatched, st.Speculated, st)
+	}
+	if st.Requeued != 0 || st.WorkersLost != 0 {
+		t.Fatalf("speculation accounted as loss: %+v", st)
+	}
+	// Per-worker Speculative counts copies actually DISPATCHED — exactly
+	// the dispatches beyond the two originals (queued copies whose original
+	// resolved first never dispatch and are only in Speculated).
+	spec := 0
+	for _, ws := range st.PerWorker {
+		spec += ws.Speculative
+	}
+	if spec != st.Dispatched-2 {
+		t.Fatalf("per-worker speculative dispatches (%d) disagree with Dispatched-2 (%d): %+v", spec, st.Dispatched-2, st)
+	}
+}
+
+// TestLateDuplicateAfterFailureDropped: under speculation a unit can resolve
+// as a failure while its other copy is still running. The copy's later
+// success must be dropped — not merged into the cache, not double-counted,
+// and OnUnitDone's Done must never exceed Total.
+func TestLateDuplicateAfterFailureDropped(t *testing.T) {
+	type call struct{ done, total int }
+	var mu sync.Mutex
+	var calls []call
+	c := NewCoordinator(CoordinatorConfig{
+		Engine:         testEngine(),
+		SpeculateAfter: 30 * time.Millisecond,
+		OnUnitDone: func(u UnitDone) {
+			mu.Lock()
+			calls = append(calls, call{u.Done, u.Total})
+			mu.Unlock()
+		},
+	})
+	defer c.Close()
+
+	// A hand-driven worker that performs the handshake and hands back its
+	// encoder plus the single unit it gets assigned.
+	fakeWorker := func() (*gob.Encoder, chan WorkUnit) {
+		coordSide, workerSide := net.Pipe()
+		enc := gob.NewEncoder(workerSide)
+		dec := gob.NewDecoder(workerSide)
+		units := make(chan WorkUnit, 1)
+		go func() {
+			var h Hello
+			if dec.Decode(&h) != nil {
+				return
+			}
+			if enc.Encode(HelloAck{Proto: ProtoVersion, Capacity: 1, LibraryFP: h.LibraryFP}) != nil {
+				return
+			}
+			var u WorkUnit
+			if dec.Decode(&u) != nil {
+				return
+			}
+			units <- u
+		}()
+		if err := c.AddConn(coordSide); err != nil {
+			t.Fatal(err)
+		}
+		return enc, units
+	}
+
+	grid := tinyGrid()[:1]
+	straggler, stragglerUnits := fakeWorker()
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Sweep(context.Background(), grid)
+		done <- err
+	}()
+	// The straggler takes the only unit and sits on it; the second worker
+	// joins afterwards, receives the speculative copy, and fails it.
+	uA := <-stragglerUnits
+	failer, failerUnits := fakeWorker()
+	uB := <-failerUnits
+	if uB.ID != uA.ID {
+		t.Fatalf("speculative copy is unit %d, want %d", uB.ID, uA.ID)
+	}
+	if err := failer.Encode(UnitResult{Epoch: uB.Epoch, ID: uB.ID, Key: uB.Key, Err: "boom"}); err != nil {
+		t.Fatal(err)
+	}
+	// Once the failure is merged, the straggler wakes up with a SUCCESS for
+	// the same unit — which must be dropped, not merged.
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Stats().Completed == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("failure never merged")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := straggler.Encode(UnitResult{Epoch: uA.Epoch, ID: uA.ID, Key: uA.Key, Result: &simgpu.Result{}}); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "boom") {
+			t.Fatalf("sweep err = %v, want the copy's failure", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("sweep never returned")
+	}
+	if st := c.Stats(); st.Completed != 1 {
+		t.Fatalf("Completed = %d, want 1 (late duplicate must not count): %+v", st.Completed, st)
+	}
+	if _, ok := c.cfg.Engine.Lookup("run|" + grid[0].Key()); ok {
+		t.Fatal("late duplicate success reached the cache")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(calls) != 1 || calls[0] != (call{1, 1}) {
+		t.Fatalf("OnUnitDone calls = %+v, want exactly [{1 1}]", calls)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"pard/internal/profile"
+	"pard/internal/simgpu"
 	"pard/internal/sweep"
 )
 
@@ -40,6 +41,12 @@ type WorkerConfig struct {
 	// differential harness uses to prove reassignment preserves
 	// byte-identical sweeps. Zero disables.
 	CrashAfterUnits int
+	// UnitDelay, when > 0, stalls every unit execution by that long before
+	// it runs — the straggler-injection hook the differential harness uses
+	// to prove speculative re-dispatch preserves byte-identical sweeps.
+	// Cache hits are not delayed (there is nothing to straggle on). Zero
+	// disables.
+	UnitDelay time.Duration
 }
 
 func (cfg WorkerConfig) withDefaults() WorkerConfig {
@@ -93,6 +100,7 @@ func ServeConn(conn net.Conn, cfg WorkerConfig) error {
 		TraceDuration: h.TraceDuration,
 		Library:       cfg.Library,
 		CacheDir:      cfg.CacheDir,
+		Logf:          cfg.Logf,
 	})
 	if err := eng.DiskError(); err != nil {
 		// Refuse with the reason: the coordinator should see "cache dir
@@ -157,7 +165,7 @@ func ServeConn(conn net.Conn, cfg WorkerConfig) error {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			sendResult(runUnit(eng, u, cfg.Logf))
+			sendResult(runUnit(eng, u, cfg))
 		}(u)
 	}
 }
@@ -165,22 +173,38 @@ func ServeConn(conn net.Conn, cfg WorkerConfig) error {
 // runUnit executes one assignment on the worker's engine. The key
 // cross-check makes version skew between coordinator and worker — a changed
 // key grammar would silently change the derived seed — a hard error instead
-// of a wrong-but-plausible result.
-func runUnit(eng *sweep.Engine, u WorkUnit, logf func(string, ...any)) UnitResult {
+// of a wrong-but-plausible result. A unit already warm in the worker's own
+// cache (a -cache-dir survives restarts and may be shared or pre-seeded) is
+// served through the Lookup seam without executing anything and flagged as
+// a hit, so a warm cluster provably recomputes nothing.
+func runUnit(eng *sweep.Engine, u WorkUnit, cfg WorkerConfig) UnitResult {
 	r := UnitResult{Epoch: u.Epoch, ID: u.ID, Key: u.Key}
 	if want := "run|" + u.Spec.Key(); u.Key != want {
 		r.Err = fmt.Sprintf("dist: unit %d key mismatch: coordinator sent %q, worker derives %q (version skew?)", u.ID, u.Key, want)
 		return r
 	}
-	if logf != nil {
-		logf("dist: running unit %d: %s", u.ID, u.Key)
+	if v, ok := eng.Lookup(u.Key); ok {
+		if res, isRun := v.(*simgpu.Result); isRun {
+			if cfg.Logf != nil {
+				cfg.Logf("dist: unit %d warm in worker cache: %s", u.ID, u.Key)
+			}
+			r.Result, r.CacheHit = res, true
+			return r
+		}
 	}
+	if cfg.UnitDelay > 0 {
+		time.Sleep(cfg.UnitDelay)
+	}
+	if cfg.Logf != nil {
+		cfg.Logf("dist: running unit %d: %s", u.ID, u.Key)
+	}
+	start := time.Now()
 	res, err := eng.Run(u.Spec)
 	if err != nil {
 		r.Err = err.Error()
 		return r
 	}
-	r.Result = res
+	r.Result, r.Elapsed = res, time.Since(start)
 	return r
 }
 

@@ -77,6 +77,8 @@ type Config struct {
 	// lane engine with that many workers (see simgpu.Config.Shards). Zero
 	// keeps the classic global event heap.
 	Shards int
+	// Logf, when set, receives cache-maintenance logging (see sweep.Config).
+	Logf func(format string, args ...any)
 }
 
 func (c Config) withDefaults() Config {
@@ -115,6 +117,7 @@ func NewHarness(cfg Config) *Harness {
 			TraceDuration: traceDuration(cfg.Scale),
 			OnProgress:    cfg.OnProgress,
 			CacheDir:      cfg.CacheDir,
+			Logf:          cfg.Logf,
 		}),
 	}
 }

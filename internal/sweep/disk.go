@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
@@ -36,29 +37,34 @@ type diskEntry struct {
 
 // diskCache persists finished artifacts (runs and traces) under their
 // stable cache keys so repeated invocations — across processes — reuse
-// finished grid points. Entries are written atomically (temp file + rename)
-// and loads are best-effort: a corrupt or mismatched file is treated as a
-// miss and recomputed.
+// finished grid points. Entries are written atomically and durably (temp
+// file + fsync + rename + directory fsync, so a crash mid-write can never
+// publish a truncated entry) and loads are best-effort: a corrupt or
+// mismatched file is quarantined — renamed aside and logged — and treated
+// as a miss, never a failed run.
 type diskCache struct {
 	dir   string
 	scope string
+	logf  func(format string, args ...any)
 
-	mu     sync.Mutex
-	hits   int
-	misses int
+	mu          sync.Mutex
+	hits        int
+	misses      int
+	quarantined int
 }
 
 // newDiskCache opens (creating if needed) a cache directory. The scope
 // string pins everything that changes results without appearing in the
 // artifact keys themselves: the base seed (run seeds derive from it) and
 // the engine trace duration (run keys do not encode it).
-func newDiskCache(dir string, baseSeed int64, scope string) (*diskCache, error) {
+func newDiskCache(dir string, baseSeed int64, scope string, logf func(string, ...any)) (*diskCache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("sweep: cache dir: %w", err)
 	}
 	return &diskCache{
 		dir:   dir,
 		scope: fmt.Sprintf("v%d|seed=%d|%s", diskFormat, baseSeed, scope),
+		logf:  logf,
 	}, nil
 }
 
@@ -69,16 +75,35 @@ func (d *diskCache) path(key string) string {
 	return filepath.Join(d.dir, fmt.Sprintf("%016x.gob", h.Sum64()))
 }
 
-// load returns the cached value for key, if a valid entry exists.
+// load returns the cached value for key, if a valid entry exists. An entry
+// that exists but cannot be decoded or verified is quarantined so the next
+// lookup (and every other process sharing the directory) stops paying to
+// re-read it.
 func (d *diskCache) load(key string) (any, bool) {
-	data, err := os.ReadFile(d.path(key))
+	path := d.path(key)
+	f, err := os.Open(path)
 	if err != nil {
 		d.count(false)
 		return nil, false
 	}
+	info, ierr := f.Stat()
+	data, rerr := io.ReadAll(f)
+	f.Close()
+	if ierr != nil || rerr != nil {
+		d.count(false)
+		return nil, false
+	}
 	var e diskEntry
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&e); err != nil ||
-		e.Scope != d.scope || e.Key != key || e.Val == nil {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&e); err != nil {
+		d.quarantine(path, info, fmt.Sprintf("undecodable entry: %v", err))
+		d.count(false)
+		return nil, false
+	}
+	if e.Scope != d.scope || e.Key != key || e.Val == nil {
+		// The filename hashes scope+key, so a well-formed entry that fails
+		// verification is a corruption (or a hash collision) — either way
+		// it can never serve this key again.
+		d.quarantine(path, info, fmt.Sprintf("entry fails verification (scope %q, key %q)", e.Scope, e.Key))
 		d.count(false)
 		return nil, false
 	}
@@ -86,8 +111,35 @@ func (d *diskCache) load(key string) (any, bool) {
 	return e.Val, true
 }
 
+// quarantine renames a corrupt entry aside (best-effort) so it reads as a
+// plain miss from now on, keeping the bytes around for a post-mortem. seen
+// is the Stat of the bytes that were judged corrupt: if the file changed
+// since — a concurrent store (this process or another sharing the dir) may
+// have published a fresh valid entry under the same name — it is left
+// alone rather than quarantining bytes nobody inspected.
+func (d *diskCache) quarantine(path string, seen os.FileInfo, reason string) {
+	if cur, err := os.Stat(path); err != nil ||
+		cur.Size() != seen.Size() || !cur.ModTime().Equal(seen.ModTime()) {
+		return
+	}
+	dst := path + ".corrupt"
+	if err := os.Rename(path, dst); err != nil {
+		// A concurrent engine may have quarantined it first.
+		return
+	}
+	d.mu.Lock()
+	d.quarantined++
+	d.mu.Unlock()
+	if d.logf != nil {
+		d.logf("sweep: quarantined corrupt cache entry %s -> %s (%s)", path, dst, reason)
+	}
+}
+
 // store persists a computed value. Failures are silent: the disk cache is
-// an accelerator, never a correctness dependency.
+// an accelerator, never a correctness dependency. Durability is not: the
+// temp file is fsynced before the rename and the directory after it, so a
+// crash at any point leaves either the old entry, no entry, or the complete
+// new entry — never truncated bytes under a valid name.
 func (d *diskCache) store(key string, val any) {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(diskEntry{Scope: d.scope, Key: key, Val: val}); err != nil {
@@ -99,13 +151,21 @@ func (d *diskCache) store(key string, val any) {
 	}
 	name := tmp.Name()
 	_, werr := tmp.Write(buf.Bytes())
+	serr := tmp.Sync()
 	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
+	if werr != nil || serr != nil || cerr != nil {
 		os.Remove(name)
 		return
 	}
 	if err := os.Rename(name, d.path(key)); err != nil {
 		os.Remove(name)
+		return
+	}
+	// Publish the rename itself: without a directory fsync a crash can roll
+	// the rename back, resurfacing the (possibly deleted) temp name.
+	if dir, err := os.Open(d.dir); err == nil {
+		dir.Sync()
+		dir.Close()
 	}
 }
 

@@ -1,7 +1,15 @@
 package sweep
 
 import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
 	"os"
+	"pard/internal/simgpu"
 	"path/filepath"
 	"reflect"
 	"testing"
@@ -132,5 +140,100 @@ func TestDiskCacheTraceReuse(t *testing.T) {
 	}
 	if !reflect.DeepEqual(tr1, tr2) {
 		t.Fatal("trace differs after disk round trip")
+	}
+}
+
+// TestDiskCacheQuarantinesCorruptEntries corrupts persisted entries — a
+// flipped byte inside one, a crash-style truncation of another — and
+// verifies the sweep still completes with byte-identical results while the
+// damaged files are renamed aside (so they never serve, and never get
+// re-read) and the quarantine is logged.
+func TestDiskCacheQuarantinesCorruptEntries(t *testing.T) {
+	encode := func(r *simgpu.Result) []byte {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(r); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	dir := t.TempDir()
+	e1 := diskEngine(t, dir, 1)
+	r1, err := e1.Run(smokeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := encode(r1)
+
+	files, _ := filepath.Glob(filepath.Join(dir, "*.gob"))
+	if len(files) < 2 {
+		t.Fatalf("expected run + trace entries, found %v", files)
+	}
+	sort.Strings(files)
+	// Entry one: flip a byte of the embedded scope string — the frame still
+	// decodes, but verification must reject (and quarantine) it.
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := bytes.Index(data, []byte("v1|seed="))
+	if idx < 0 {
+		t.Fatal("scope string not found in entry bytes")
+	}
+	data[idx] ^= 0xFF
+	if err := os.WriteFile(files[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Entry two: a crash-style truncation — the frame no longer decodes.
+	if err := os.Truncate(files[1], 10); err != nil {
+		t.Fatal(err)
+	}
+
+	var logMu sync.Mutex
+	var logs []string
+	e2 := New(Config{
+		Workers: 2, BaseSeed: 1, TraceDuration: 30 * time.Second, CacheDir: dir,
+		Logf: func(format string, args ...any) {
+			logMu.Lock()
+			logs = append(logs, fmt.Sprintf(format, args...))
+			logMu.Unlock()
+		},
+	})
+	if err := e2.DiskError(); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := e2.Sweep([]Spec{smokeSpec()})
+	if err != nil {
+		t.Fatalf("sweep over a corrupt cache failed: %v", err)
+	}
+	if !bytes.Equal(encode(rs[0]), want) {
+		t.Fatal("recomputed result not byte-identical to the original")
+	}
+	if hits, _ := e2.DiskStats(); hits != 0 {
+		t.Fatalf("corrupt entries served as hits (%d)", hits)
+	}
+	quarantined, _ := filepath.Glob(filepath.Join(dir, "*.corrupt"))
+	if len(quarantined) != 2 {
+		t.Fatalf("quarantined %d entries, want 2 (%v)", len(quarantined), quarantined)
+	}
+	logMu.Lock()
+	joined := strings.Join(logs, "\n")
+	logMu.Unlock()
+	if !strings.Contains(joined, "quarantined corrupt cache entry") {
+		t.Fatalf("quarantine not logged:\n%s", joined)
+	}
+
+	// The recompute re-persisted clean entries: a third engine hits again,
+	// and the quarantined bytes are left alone for post-mortems.
+	e3 := diskEngine(t, dir, 1)
+	r3, err := e3.Run(smokeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, _ := e3.DiskStats(); hits == 0 {
+		t.Fatal("re-persisted entries not served as hits")
+	}
+	if !bytes.Equal(encode(r3), want) {
+		t.Fatal("re-persisted result not byte-identical")
 	}
 }

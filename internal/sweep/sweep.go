@@ -77,6 +77,9 @@ type Config struct {
 	// processes. Disk hits fill the in-memory cache without counting as
 	// executed work.
 	CacheDir string
+	// Logf, when set, receives cache-maintenance logging — notably corrupt
+	// disk entries being quarantined. Nil discards.
+	Logf func(format string, args ...any)
 }
 
 func (c Config) withDefaults() Config {
@@ -137,7 +140,7 @@ func New(cfg Config) *Engine {
 		cache: map[string]*flight{},
 	}
 	if cfg.CacheDir != "" {
-		d, err := newDiskCache(cfg.CacheDir, cfg.BaseSeed, fmt.Sprintf("dur=%v", cfg.TraceDuration))
+		d, err := newDiskCache(cfg.CacheDir, cfg.BaseSeed, fmt.Sprintf("dur=%v", cfg.TraceDuration), cfg.Logf)
 		if err != nil {
 			e.diskErr = err
 		} else {
@@ -319,8 +322,17 @@ func AllCtx[T any](ctx context.Context, e *Engine, jobs []Job[T]) ([]T, error) {
 				case <-f.done:
 					v, err = f.val, f.err
 				case <-ctx.Done():
-					errs[i] = ctx.Err()
-					return
+					// Both cases can be ready at once; prefer the flight's
+					// real outcome so the recorded error (and hence which
+					// failure a sweep reports) never depends on which select
+					// case won the race.
+					select {
+					case <-f.done:
+						v, err = f.val, f.err
+					default:
+						errs[i] = ctx.Err()
+						return
+					}
 				}
 			} else {
 				select {
@@ -353,21 +365,25 @@ func AllCtx[T any](ctx context.Context, e *Engine, jobs []Job[T]) ([]T, error) {
 		}(i, j)
 	}
 	wg.Wait()
-	// Prefer the first real failure in input order; cancellations are only
-	// its echo (or the caller's, when no job failed at all).
-	var first error
+	// Deterministic failure reporting: every job's outcome is collected
+	// before any is judged, and the failure with the lowest input index is
+	// the one reported — concurrent failures at several grid points always
+	// surface the same error, no matter which job's pool worker finished
+	// first. Cancellations are only a failure's echo (or the caller's, when
+	// no job failed at all) and are reported only when nothing real failed.
+	var firstCancel error
 	for _, err := range errs {
-		if err == nil {
-			continue
-		}
-		if first == nil {
-			first = err
-		}
-		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		switch {
+		case err == nil:
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			if firstCancel == nil {
+				firstCancel = err
+			}
+		default:
 			return out, err
 		}
 	}
-	return out, first
+	return out, firstCancel
 }
 
 // report delivers one progress callback under the engine lock, keeping

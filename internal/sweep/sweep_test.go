@@ -417,3 +417,63 @@ func TestSweepDelegatesToDistributor(t *testing.T) {
 		t.Fatal("local sweep of a bogus app succeeded")
 	}
 }
+
+// TestConcurrentFailuresReportLowestIndex pins deterministic failure
+// reporting: when several grid points fail in one sweep, the reported error
+// is always the failure with the lowest input index — never whichever
+// failing job's pool worker happened to finish first.
+func TestConcurrentFailuresReportLowestIndex(t *testing.T) {
+	errLow := errors.New("low-index failure")
+	errHigh := errors.New("high-index failure")
+
+	// Both failures in flight at once: a barrier holds each failing job
+	// until the other has started, so neither is skipped by the other's
+	// cancellation and completion order is pure scheduling noise.
+	t.Run("simultaneous", func(t *testing.T) {
+		for rep := 0; rep < 30; rep++ {
+			e := New(Config{Workers: 3})
+			var started sync.WaitGroup
+			started.Add(2)
+			fail := func(err error) func(int64) (int, error) {
+				return func(int64) (int, error) {
+					started.Done()
+					started.Wait()
+					return 0, err
+				}
+			}
+			jobs := []Job[int]{
+				{Key: fmt.Sprintf("sim-low-%d", rep), Run: fail(errLow)},
+				{Key: fmt.Sprintf("sim-ok-%d", rep), Run: func(int64) (int, error) { return 1, nil }},
+				{Key: fmt.Sprintf("sim-high-%d", rep), Run: fail(errHigh)},
+			}
+			if _, err := All(e, jobs); !errors.Is(err, errLow) {
+				t.Fatalf("rep %d: err = %v, want the lowest-index failure", rep, err)
+			}
+		}
+	})
+
+	// The low-index job fails strictly AFTER the high-index failure has
+	// already fired the batch cancellation: in-flight jobs are not
+	// preemptible, so its real failure must still win the report.
+	t.Run("low-index-fails-last", func(t *testing.T) {
+		e := New(Config{Workers: 2})
+		lowStarted := make(chan struct{})
+		highFailed := make(chan struct{})
+		jobs := []Job[int]{
+			{Key: "late-low", Run: func(int64) (int, error) {
+				close(lowStarted)
+				<-highFailed
+				time.Sleep(5 * time.Millisecond) // let the cancellation land first
+				return 0, errLow
+			}},
+			{Key: "late-high", Run: func(int64) (int, error) {
+				<-lowStarted // guarantee the low-index job is in flight
+				defer close(highFailed)
+				return 0, errHigh
+			}},
+		}
+		if _, err := All(e, jobs); !errors.Is(err, errLow) {
+			t.Fatalf("err = %v, want the lowest-index failure", err)
+		}
+	})
+}
