@@ -231,9 +231,9 @@ func BenchmarkDAGDynamicPaths(b *testing.B) {
 
 // benchShardedDA runs the paper's 5-module DA DAG at a balanced high load
 // (every module processes the full request stream, so all five lanes carry
-// dense traffic) on the selected engine. NetDelay doubles as the sharded
+// dense traffic) on the selected engine. NetDelay doubles as the lane
 // engine's conservative lookahead window.
-func benchShardedDA(b *testing.B, shards int) {
+func benchShardedDA(b *testing.B, engine string, shards int) {
 	tr := pard.GenerateTrace(pard.TraceConfig{
 		Kind: pard.Steady, Duration: 20 * time.Second, PeakRate: 3500, Seed: 1,
 	})
@@ -245,6 +245,7 @@ func benchShardedDA(b *testing.B, shards int) {
 		SyncPeriod:   time.Second,
 		NetDelay:     5 * time.Millisecond,
 		FixedWorkers: []int{40, 40, 40, 40, 40},
+		Engine:       engine,
 		Shards:       shards,
 	}
 	b.ResetTimer()
@@ -260,17 +261,19 @@ func benchShardedDA(b *testing.B, shards int) {
 	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
 }
 
-// BenchmarkShardedDAClassic is the pre-existing sequential engine: one
-// global totally-ordered event heap.
-func BenchmarkShardedDAClassic(b *testing.B) { benchShardedDA(b, 0) }
+// BenchmarkShardedDAClassic is the deprecated pre-flip engine — one global
+// totally-ordered event heap — kept as the trajectory baseline the lane
+// benchmarks below are measured against. Since the default flip it must be
+// requested explicitly (Shards: 0 now means "lane engine, sequential").
+func BenchmarkShardedDAClassic(b *testing.B) { benchShardedDA(b, pard.EngineClassic, 0) }
 
-// BenchmarkShardedDASequential is the lane engine run sequentially (one
-// worker): the canonical event order of the sharded path with zero
-// concurrency, and the baseline the differential harness compares against.
-// Even single-threaded it beats the classic engine on this workload — five
-// shallow per-module heaps replace one deep global heap, and lane events
-// need no per-event allocation.
-func BenchmarkShardedDASequential(b *testing.B) { benchShardedDA(b, 1) }
+// BenchmarkShardedDASequential is the default engine exactly as an unset
+// config runs it: per-module lanes, one worker. The canonical event order of
+// the sharded path with zero concurrency, and the baseline the differential
+// harness compares against. Even single-threaded it beats the classic
+// engine on this workload — five shallow per-module heaps replace one deep
+// global heap, and typed lane events need no per-event allocation.
+func BenchmarkShardedDASequential(b *testing.B) { benchShardedDA(b, "", 1) }
 
 // BenchmarkShardedDASharded runs the same workload with one shard per
 // module: lanes advance concurrently inside lookahead windows and the sync
@@ -280,7 +283,7 @@ func BenchmarkShardedDASequential(b *testing.B) { benchShardedDA(b, 1) }
 // GOMAXPROCS > 1; on a single CPU the two are within noise, i.e. the
 // sharding machinery itself costs ~nothing). The differential harness in
 // internal/sched proves the outputs are byte-identical to Sequential.
-func BenchmarkShardedDASharded(b *testing.B) { benchShardedDA(b, 5) }
+func BenchmarkShardedDASharded(b *testing.B) { benchShardedDA(b, "", 5) }
 
 // Micro-benchmarks for the §5.4 overhead analysis.
 

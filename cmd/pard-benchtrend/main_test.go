@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: pard
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkShardedDAClassic    	       1	 850118736 ns/op	    705214 events/s	         1.000 gomaxprocs	239101128 B/op	 2471766 allocs/op
+BenchmarkShardedDASequential-8 	       5	 811013137 ns/op	213956880 B/op	  673436 allocs/op
+PASS
+ok  	pard	2.480s
+`
+
+func TestParse(t *testing.T) {
+	rs, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %+v", len(rs), rs)
+	}
+	c := rs[0]
+	if c.Name != "ShardedDAClassic" || c.NsPerOp != 850118736 ||
+		c.BytesPerOp != 239101128 || c.AllocsPerOp != 2471766 {
+		t.Fatalf("classic parsed wrong: %+v", c)
+	}
+	// The -8 GOMAXPROCS suffix is stripped; custom metrics are ignored.
+	if rs[1].Name != "ShardedDASequential" || rs[1].AllocsPerOp != 673436 {
+		t.Fatalf("sequential parsed wrong: %+v", rs[1])
+	}
+}
+
+func TestCompare(t *testing.T) {
+	floor := Trend{Benchmarks: []Result{
+		{Name: "A", NsPerOp: 100, AllocsPerOp: 1000},
+		{Name: "B", NsPerOp: 100},
+	}}
+	ok := []Result{
+		{Name: "A", NsPerOp: 100 * nsTolerance, AllocsPerOp: 1000 * allocsTolerance},
+		{Name: "B", NsPerOp: 50},
+		{Name: "C", NsPerOp: 9e9}, // new benchmark: no floor yet, never a failure
+	}
+	if bad := compare(floor, ok); len(bad) != 0 {
+		t.Fatalf("at-tolerance run flagged: %v", bad)
+	}
+	regressed := []Result{
+		{Name: "A", NsPerOp: 100, AllocsPerOp: 1000*allocsTolerance + 1},
+		// B missing entirely.
+	}
+	bad := compare(floor, regressed)
+	if len(bad) != 2 {
+		t.Fatalf("want 2 violations (allocs regression + missing B), got: %v", bad)
+	}
+}

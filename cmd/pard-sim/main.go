@@ -38,7 +38,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	seed := fs.Int64("seed", 1, "random seed")
 	compare := fs.Bool("compare", false, "run the four headline systems instead of one policy")
 	parallel := fs.Int("parallel", 0, "concurrent simulation runs (0 = all CPU cores, 1 = sequential)")
-	shards := fs.Int("shards", 0, "per-module event shards within each simulation (0 = classic single event heap, 1 = sharded engine sequential, N = N workers)")
+	engine := fs.String("engine", "lane", "execution engine: lane (the default per-module lane engine) or classic (the deprecated pre-flip global event heap, kept one deprecation cycle to reproduce old numbers)")
+	shards := fs.Int("shards", 0, "per-module event-lane workers within each simulation (0 or 1 = the default lane engine run sequentially, N = N concurrent workers; must be 0 with -engine classic)")
 	list := fs.Bool("list", false, "list policies and exit")
 	window := fs.Duration("window", 24*time.Second, "goodput window size")
 	if err := fs.Parse(args); err != nil {
@@ -91,6 +92,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 					PolicyName: pol,
 					Trace:      tr,
 					Seed:       *seed,
+					Engine:     *engine,
 					Shards:     *shards,
 				})
 			},

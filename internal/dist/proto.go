@@ -35,7 +35,13 @@ import (
 // the spec key grammar, or simulation semantics change incompatibly; peers
 // with a different version refuse the handshake instead of silently
 // producing mismatched results.
-const ProtoVersion = 1
+//
+// Version 2: the default execution engine flipped from the classic global
+// event heap to the per-module lane engine, and the spec key grammar
+// gained a mandatory |eng= marker (plus RunOpts.Engine on the wire). A v1
+// peer would silently simulate the same keys on the old engine — the
+// exact divergence the version gate exists to refuse.
+const ProtoVersion = 2
 
 // Hello opens a coordinator→worker stream. It carries everything a worker
 // needs to reproduce the coordinator's derivation of per-run seeds and

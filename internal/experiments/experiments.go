@@ -73,9 +73,14 @@ type Config struct {
 	// CacheDir, when set, persists finished simulation runs to disk so
 	// repeated invocations reuse finished grid points (see sweep.Config).
 	CacheDir string
-	// Shards, when >= 1, runs every simulation on the sharded per-module
-	// lane engine with that many workers (see simgpu.Config.Shards). Zero
-	// keeps the classic global event heap.
+	// Engine, when set, selects the execution engine for every simulation
+	// (see simgpu.Config.Engine): simgpu.EngineClassic reproduces pre-flip
+	// numbers on the deprecated global event heap; "" and simgpu.EngineLane
+	// are the lane-engine default.
+	Engine string
+	// Shards, when >= 1, sets the lane engine's worker count for every
+	// simulation (see simgpu.Config.Shards). Zero is the sequential lane
+	// default.
 	Shards int
 	// Logf, when set, receives cache-maintenance logging (see sweep.Config).
 	Logf func(format string, args ...any)
@@ -153,23 +158,29 @@ type RunOpts = sweep.RunOpts
 // Spec identifies one grid point of a sweep.
 type Spec = sweep.Spec
 
-// Run executes (or retrieves from cache) one simulation.
-func (h *Harness) Run(app string, kind trace.Kind, policy string, opts RunOpts) (*simgpu.Result, error) {
+// applyEngine fills a spec's engine options from the harness defaults.
+func (h *Harness) applyEngine(opts *RunOpts) {
+	if opts.Engine == "" {
+		opts.Engine = h.cfg.Engine
+	}
 	if opts.Shards == 0 {
 		opts.Shards = h.cfg.Shards
 	}
+}
+
+// Run executes (or retrieves from cache) one simulation.
+func (h *Harness) Run(app string, kind trace.Kind, policy string, opts RunOpts) (*simgpu.Result, error) {
+	h.applyEngine(&opts)
 	return h.eng.Run(Spec{App: app, Kind: kind, Policy: policy, Opts: opts})
 }
 
 // Sweep executes a grid of specs concurrently and returns results in input
 // order; see sweep.Engine.Sweep for the determinism contract.
 func (h *Harness) Sweep(specs []Spec) ([]*simgpu.Result, error) {
-	if h.cfg.Shards != 0 {
+	if h.cfg.Shards != 0 || h.cfg.Engine != "" {
 		specs = append([]Spec(nil), specs...)
 		for i := range specs {
-			if specs[i].Opts.Shards == 0 {
-				specs[i].Opts.Shards = h.cfg.Shards
-			}
+			h.applyEngine(&specs[i].Opts)
 		}
 	}
 	return h.eng.Sweep(specs)

@@ -1,7 +1,8 @@
 package sched
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 	"time"
 )
 
@@ -27,19 +28,20 @@ import (
 type post struct {
 	src, dst int
 	at       time.Duration
-	name     string
-	fn       func(now time.Duration)
+	ev       laneEvent
 }
 
 // sortPosts orders a merged mailbox by (virtual time, source module). Posts
 // are gathered in (source module, send order) sequence, so the stable sort
-// yields the full deterministic key (time, module, sequence).
+// yields the full deterministic key (time, module, sequence). The sort is
+// slices.SortStableFunc — in-place and reflection-free — so a barrier's
+// mailbox merge allocates nothing in steady state.
 func sortPosts(posts []post) {
-	sort.SliceStable(posts, func(i, j int) bool {
-		if posts[i].at != posts[j].at {
-			return posts[i].at < posts[j].at
+	slices.SortStableFunc(posts, func(a, b post) int {
+		if a.at != b.at {
+			return cmp.Compare(a.at, b.at)
 		}
-		return posts[i].src < posts[j].src
+		return cmp.Compare(a.src, b.src)
 	})
 }
 
@@ -50,9 +52,10 @@ func sortPosts(posts []post) {
 // cluster falls back to plain Schedule with immediate terminations.
 type laneScheduler interface {
 	Executor
-	// scheduleLane schedules fn on lane dst; src is the executing lane or -1
-	// for host/control/barrier context.
-	scheduleLane(src, dst int, at time.Duration, name string, fn func(now time.Duration))
+	// scheduleLaneEvent schedules ev on lane dst; src is the executing lane
+	// or -1 for host/control/barrier context. The event travels by value
+	// (typed hot-path ops carry no closure; see laneEvent).
+	scheduleLaneEvent(src, dst int, at time.Duration, ev laneEvent)
 	// setBarrierHook registers the cluster's barrier commit.
 	setBarrierHook(func())
 	// parallelLanes fans a lane-local function out over all lanes from
@@ -133,11 +136,11 @@ func (b *laneBridge) commit() {
 		b.scratch = merged
 		return
 	}
-	sort.SliceStable(merged, func(i, j int) bool {
-		if merged[i].at != merged[j].at {
-			return merged[i].at < merged[j].at
+	slices.SortStableFunc(merged, func(a, b mergedIntent) int {
+		if a.at != b.at {
+			return cmp.Compare(a.at, b.at)
 		}
-		return merged[i].mod < merged[j].mod
+		return cmp.Compare(a.mod, b.mod)
 	})
 	for _, m := range merged {
 		if m.drop {
@@ -148,8 +151,8 @@ func (b *laneBridge) commit() {
 	}
 	b.scratch = merged[:0]
 	for k := range b.retired {
-		if len(b.retired[k]) > 0 {
-			b.retired[k] = make(map[*Request]struct{})
-		}
+		// clear keeps the map's storage, so a steady-state barrier reuses it
+		// instead of re-allocating a map per module per window.
+		clear(b.retired[k])
 	}
 }

@@ -43,6 +43,11 @@ type module struct {
 	drops       int
 	peakWorkers int
 
+	// charges buffers this module's per-request batch accounting in lane
+	// mode; the cluster merges it into the shared Requests at each window
+	// barrier (see Cluster.flushCharges). The slab is reused across windows.
+	charges []chargeRec
+
 	// Probes.
 	queueDelayProbe *metrics.Series
 	loadProbe       *metrics.Series
@@ -208,6 +213,18 @@ func (m *module) dispatch(e entry, now time.Duration) {
 		return
 	}
 	best.enqueue(e, now)
+}
+
+// chargeRequest records a batch execution's per-request accounting. Lane
+// mode appends to the module-local buffer (merged at the next barrier);
+// classic and wall-clock executors apply it immediately — they run the
+// core serially by contract, so the plain adds in Request.charge are safe.
+func (m *module) chargeRequest(r *Request, gpu, q, w, d time.Duration) {
+	if m.cl.bridge != nil {
+		m.charges = append(m.charges, chargeRec{req: r, gpu: gpu, q: q, w: w, d: d})
+		return
+	}
+	r.charge(gpu, q, w, d)
 }
 
 // observe records decision-time measurements for a batched request

@@ -1,7 +1,6 @@
 package sched
 
 import (
-	"sync/atomic"
 	"time"
 )
 
@@ -44,15 +43,24 @@ type Request struct {
 	mergeMaxArrive time.Duration
 }
 
-// charge accumulates a batch execution's per-request accounting. The adds
-// are atomic because parallel DAG branches can execute copies of the same
-// request in concurrently running lanes under the sharded executor; the
-// totals are order-independent sums, so the result stays deterministic.
+// charge accumulates a batch execution's per-request accounting. Callers
+// guarantee serial context: classic and wall-clock executors run the core
+// single-threaded by contract, and lane mode routes charges through
+// per-module buffers merged at the window barrier with every lane parked
+// (see module.chargeRequest) — which is why these are plain adds, not the
+// per-event atomics they once were. The totals are order-independent sums,
+// so the result stays deterministic.
 func (r *Request) charge(gpu, q, w, d time.Duration) {
-	atomic.AddInt64((*int64)(&r.GPU), int64(gpu))
-	atomic.AddInt64((*int64)(&r.SumQ), int64(q))
-	atomic.AddInt64((*int64)(&r.SumW), int64(w))
-	atomic.AddInt64((*int64)(&r.SumD), int64(d))
+	r.GPU += gpu
+	r.SumQ += q
+	r.SumW += w
+	r.SumD += d
+}
+
+// chargeRec is one buffered charge awaiting the barrier merge (lane mode).
+type chargeRec struct {
+	req          *Request
+	gpu, q, w, d time.Duration
 }
 
 // resetMerge arms the merge bookkeeping for the next fan-out region: n

@@ -179,7 +179,7 @@ func New(cfg Config, exec Executor) (*Cluster, error) {
 		}
 		c.ls = ls
 		c.bridge = newLaneBridge(c, n)
-		ls.setBarrierHook(c.bridge.commit)
+		ls.setBarrierHook(c.barrier)
 	}
 
 	estCfg := core.DefaultEstimatorConfig()
@@ -273,21 +273,21 @@ func (c *Cluster) Probes(k int) ModuleProbes {
 // Deadline, DropModule).
 func (c *Cluster) Inject(req *Request, sendAt time.Duration) {
 	src := c.modules[c.cfg.Spec.Source()]
-	c.schedule(-1, src.idx, sendAt+c.cfg.NetDelay, "arrive", func(now time.Duration) {
-		src.receive(req, now)
-	})
+	c.scheduleEvent(-1, src.idx, sendAt+c.cfg.NetDelay,
+		laneEvent{name: "arrive", op: opReceive, m: src, req: req})
 }
 
-// schedule registers fn on module dst's event lane. src is the module whose
-// event is executing (-1 for host or control context); lane-aware executors
-// route cross-lane schedules through the ordered mailbox, classic executors
-// use the plain global queue.
-func (c *Cluster) schedule(src, dst int, at time.Duration, name string, fn func(now time.Duration)) {
+// scheduleEvent registers ev on module dst's event lane. src is the module
+// whose event is executing (-1 for host or control context); lane-aware
+// executors route cross-lane schedules through the ordered mailbox — the
+// event travels by value, so the typed hot-path ops allocate nothing —
+// while classic executors wrap it in a closure on the plain global queue.
+func (c *Cluster) scheduleEvent(src, dst int, at time.Duration, ev laneEvent) {
 	if c.ls != nil {
-		c.ls.scheduleLane(src, dst, at, name, fn)
+		c.ls.scheduleLaneEvent(src, dst, at, ev)
 		return
 	}
-	c.exec.Schedule(at, name, fn)
+	c.exec.Schedule(at, ev.name, ev.fire)
 }
 
 // control brackets a serial control-context callback (sync, scaling,
@@ -354,12 +354,34 @@ func (c *Cluster) Crash(k int, now time.Duration, count int) int {
 // scheduleBatchEnd registers the batch-completion event on the worker's own
 // lane.
 func (c *Cluster) scheduleBatchEnd(w *worker, at time.Duration) {
-	c.schedule(w.mod.idx, w.mod.idx, at, "batch-end", func(now time.Duration) { w.batchEnd(now) })
+	c.scheduleEvent(w.mod.idx, w.mod.idx, at, laneEvent{name: "batch-end", op: opBatchEnd, w: w})
 }
 
 // scheduleWarmup wakes a cold-started worker.
 func (c *Cluster) scheduleWarmup(w *worker, at time.Duration) {
-	c.schedule(w.mod.idx, w.mod.idx, at, "warmup", func(now time.Duration) { w.pump(now) })
+	c.scheduleEvent(w.mod.idx, w.mod.idx, at, laneEvent{name: "warmup", op: opWarmup, w: w})
+}
+
+// barrier runs at every lane-window barrier (all lanes parked): first the
+// lanes' batched per-request accounting merges into the shared Requests,
+// then deferred terminations commit — in that order, so host OnDone/OnDrop
+// callbacks observe complete sums.
+func (c *Cluster) barrier() {
+	c.flushCharges()
+	c.bridge.commit()
+}
+
+// flushCharges applies every module's buffered charge records in (module,
+// decision order) — a deterministic order, and the charges are commutative
+// sums anyway. Buffers keep their slabs across windows.
+func (c *Cluster) flushCharges() {
+	for _, m := range c.modules {
+		for i := range m.charges {
+			ch := &m.charges[i]
+			ch.req.charge(ch.gpu, ch.q, ch.w, ch.d)
+		}
+		m.charges = m.charges[:0]
+	}
 }
 
 // retired reports whether module k should treat the request as terminated:
@@ -412,17 +434,19 @@ func (c *Cluster) forward(req *Request, k int, now time.Duration) {
 		c.complete(req, k, now)
 		return
 	}
-	subs := mod.Subs
+	arrive := now + c.cfg.NetDelay
 	if mod.Exclusive {
-		subs = []int{mod.Subs[c.pickBranch(mod)]}
+		sub := mod.Subs[c.pickBranch(mod)]
 		req.resetMerge(1)
-	} else if len(subs) > 1 {
+		c.scheduleEvent(k, sub, arrive, laneEvent{name: "hop", op: opReceive, m: c.modules[sub], req: req})
+		return
+	}
+	subs := mod.Subs
+	if len(subs) > 1 {
 		req.resetMerge(len(subs))
 	}
-	arrive := now + c.cfg.NetDelay
 	for _, sub := range subs {
-		target := c.modules[sub]
-		c.schedule(k, sub, arrive, "hop", func(now time.Duration) { target.receive(req, now) })
+		c.scheduleEvent(k, sub, arrive, laneEvent{name: "hop", op: opReceive, m: c.modules[sub], req: req})
 	}
 }
 

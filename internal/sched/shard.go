@@ -54,10 +54,43 @@ type ShardedExecutor struct {
 	pool *shardPool
 }
 
-// laneEvent is one scheduled callback inside a lane.
+// laneEvent is one scheduled event inside a lane. The hot-path kinds —
+// request arrivals and hops, batch completions, worker warmups — are
+// encoded as typed ops dispatched by fire, so scheduling one moves a plain
+// value through the lane queues and mailboxes with no per-event closure
+// allocation; host and control events (sync ticks, failures) keep the
+// closure form.
 type laneEvent struct {
 	name string
-	fn   func(now time.Duration)
+	fn   func(now time.Duration) // opFn only
+	op   laneOp
+	m    *module  // opReceive destination
+	w    *worker  // opBatchEnd / opWarmup worker
+	req  *Request // opReceive payload
+}
+
+// laneOp tags a laneEvent's dispatch kind.
+type laneOp uint8
+
+const (
+	opFn       laneOp = iota // fire the fn closure
+	opReceive                // m.receive(req, now): arrivals and cross-module hops
+	opBatchEnd               // w.batchEnd(now)
+	opWarmup                 // w.pump(now): cold-start wakeup
+)
+
+// fire dispatches the event at virtual time now.
+func (ev *laneEvent) fire(now time.Duration) {
+	switch ev.op {
+	case opReceive:
+		ev.m.receive(ev.req, now)
+	case opBatchEnd:
+		ev.w.batchEnd(now)
+	case opWarmup:
+		ev.w.pump(now)
+	default:
+		ev.fn(now)
+	}
 }
 
 // laneState is one event lane: a min-ordered queue (keyed by timestamp,
@@ -79,8 +112,8 @@ func newLaneState(id int) *laneState {
 
 // push inserts an event; insertion order breaks timestamp ties (depq keeps
 // FIFO order among equal keys).
-func (l *laneState) push(at time.Duration, name string, fn func(time.Duration)) {
-	l.q.Push(laneEvent{name: name, fn: fn}, int64(at))
+func (l *laneState) push(at time.Duration, ev laneEvent) {
+	l.q.Push(ev, int64(at))
 }
 
 // peek returns the next pending timestamp.
@@ -107,7 +140,7 @@ func (l *laneState) run(lo, hi time.Duration) {
 			l.now = at
 		}
 		l.fired++
-		ev.fn(l.now)
+		ev.fire(l.now)
 	}
 }
 
@@ -165,7 +198,7 @@ func (x *ShardedExecutor) Schedule(at time.Duration, name string, fn func(now ti
 	if at < x.frontier {
 		at = x.frontier
 	}
-	x.ctrl.push(at, name, fn)
+	x.ctrl.push(at, laneEvent{name: name, fn: fn})
 }
 
 // Ticker repeatedly schedules fn on the control lane every period until the
@@ -185,19 +218,27 @@ func (x *ShardedExecutor) Ticker(period time.Duration, name string, fn func(now 
 	x.Schedule(x.frontier+period, name, tick)
 }
 
-// scheduleLane registers fn on lane dst at absolute time at. src identifies
-// the calling context: the executing lane, or -1 for host/control/barrier
-// context (every lane parked). Same-lane and control-context schedules
-// insert directly; cross-lane schedules from a running lane are posted to
-// the source lane's outbox and delivered at the window barrier in mailbox
-// order. This implements the cluster-facing laneScheduler interface.
+// scheduleLane registers fn on lane dst at absolute time at; it is the
+// closure-form convenience over scheduleLaneEvent.
 func (x *ShardedExecutor) scheduleLane(src, dst int, at time.Duration, name string, fn func(time.Duration)) {
+	x.scheduleLaneEvent(src, dst, at, laneEvent{name: name, fn: fn})
+}
+
+// scheduleLaneEvent registers ev on lane dst at absolute time at. src
+// identifies the calling context: the executing lane, or -1 for
+// host/control/barrier context (every lane parked). Same-lane and
+// control-context schedules insert directly; cross-lane schedules from a
+// running lane are posted to the source lane's outbox and delivered at the
+// window barrier in mailbox order. This implements the cluster-facing
+// laneScheduler interface; the event travels by value the whole way, so
+// the steady-state hot path allocates nothing.
+func (x *ShardedExecutor) scheduleLaneEvent(src, dst int, at time.Duration, ev laneEvent) {
 	l := x.lanes[dst]
 	if src < 0 || !x.running {
 		if at < x.frontier {
 			at = x.frontier
 		}
-		l.push(at, name, fn)
+		l.push(at, ev)
 		return
 	}
 	from := x.lanes[src]
@@ -205,10 +246,10 @@ func (x *ShardedExecutor) scheduleLane(src, dst int, at time.Duration, name stri
 		at = from.now
 	}
 	if src == dst {
-		l.push(at, name, fn)
+		l.push(at, ev)
 		return
 	}
-	from.outbox = append(from.outbox, post{src: src, dst: dst, at: at, name: name, fn: fn})
+	from.outbox = append(from.outbox, post{src: src, dst: dst, at: at, ev: ev})
 }
 
 // setBarrierHook registers fn to run at every window barrier (after mailbox
@@ -241,7 +282,7 @@ func (x *ShardedExecutor) runControl(t time.Duration) {
 			x.ctrl.now = t
 		}
 		x.ctrl.fired++
-		ev.fn(t)
+		ev.fire(t)
 	}
 }
 
@@ -295,8 +336,9 @@ func (x *ShardedExecutor) flushOutboxes() {
 		return
 	}
 	sortPosts(all)
-	for _, p := range all {
-		x.lanes[p.dst].push(p.at, p.name, p.fn)
+	for i := range all {
+		p := &all[i]
+		x.lanes[p.dst].push(p.at, p.ev)
 	}
 }
 

@@ -26,6 +26,10 @@ type worker struct {
 
 	forming   []batchMember
 	executing []batchMember
+	// spare recycles the last finished batch's slab: startBatch hands it to
+	// the next forming batch, so a worker in steady state cycles two slabs
+	// indefinitely instead of allocating one per batch.
+	spare     []batchMember
 	busy      bool
 	execStart time.Duration
 	execDur   time.Duration
@@ -120,7 +124,8 @@ func (w *worker) fill(now, te time.Duration) {
 func (w *worker) startBatch(now time.Duration) {
 	m := w.mod
 	w.executing = w.forming
-	w.forming = nil
+	w.forming = w.spare[:0]
+	w.spare = nil
 	w.busy = true
 	w.execStart = now
 	w.execDur = m.execDuration(len(w.executing))
@@ -155,9 +160,11 @@ func (w *worker) batchEnd(now time.Duration) {
 		for i := range batch {
 			mem := &batch[i]
 			r := mem.e.req
-			// Atomic: parallel DAG branches may finish batches holding copies
-			// of the same request in concurrently running lanes.
-			r.charge(perReqGPU, mem.q, w.execStart-mem.tb, w.execDur)
+			// Lane mode buffers the charge module-locally and merges it at
+			// the next barrier: parallel DAG branches may finish batches
+			// holding copies of the same request in concurrently running
+			// lanes, and batching keeps the hot path free of shared writes.
+			m.chargeRequest(r, perReqGPU, mem.q, w.execStart-mem.tb, w.execDur)
 			m.probeBudget(mem.e.arrive, now)
 			if m.retired(r) {
 				continue // executed alongside, but the request is already dead
@@ -165,6 +172,7 @@ func (w *worker) batchEnd(now time.Duration) {
 			m.cl.forward(r, m.idx, now)
 		}
 	}
+	w.spare = batch[:0] // recycle the drained slab for the next forming batch
 
 	// Promote the batch that formed during execution, or refill from queue.
 	if len(w.forming) > 0 {

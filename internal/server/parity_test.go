@@ -32,9 +32,14 @@ func TestVirtualWallClockParity(t *testing.T) {
 		Seed:     5,
 	})
 
-	// Side A: the simulator.
+	// Side A: the simulator, pinned to the classic engine: the live shell
+	// drives the core through a classic executor (immediate commits, global
+	// event order), so clock parity is asserted engine-like-for-like. The
+	// lane engine orders equal-timestamp events differently and is covered
+	// by its own differential harness in internal/sched.
 	res, err := simgpu.Run(simgpu.Config{
 		Spec:         spec,
+		Engine:       simgpu.EngineClassic,
 		PolicyName:   "pard",
 		Trace:        tr,
 		Seed:         seed,

@@ -86,17 +86,33 @@ type Config struct {
 	// PriorityWindow overrides the priority smoothing window when > 0
 	// (Fig. 14d).
 	PriorityWindow time.Duration
-	// Shards selects the execution engine. 0 (default) runs the classic
-	// single global event heap. >= 1 runs the sharded engine: per-module
-	// event lanes advanced by up to Shards concurrent workers under a
-	// low-watermark barrier, with cross-module events exchanged through
-	// deterministic ordered mailboxes. Results are identical for every
-	// Shards >= 1 (Shards == 1 is the sequential baseline of the
-	// differential harness); the two engines' equal-timestamp tie-breaking
-	// differs, so sharded results are compared against Shards == 1, not
-	// against the classic heap.
+	// Engine selects the execution engine. "" or EngineLane (the default)
+	// runs the lane engine: per-module event lanes advanced by up to Shards
+	// concurrent workers under a low-watermark barrier, with cross-module
+	// events exchanged through deterministic ordered mailboxes.
+	// EngineClassic keeps the deprecated single global event heap for one
+	// deprecation cycle; it will be removed. The two engines'
+	// equal-timestamp tie-breaking differs, so their results are not
+	// interchangeable: sharded results are compared against Shards == 1
+	// (the differential harness), never against the classic heap.
+	Engine string
+	// Shards is the lane engine's worker count. 0 (the default) and 1 both
+	// run the lanes sequentially; N > 1 drains them with N concurrent
+	// workers. Results are identical for every shard count (Shards <= 1 is
+	// the sequential baseline of the differential harness). Must be 0 with
+	// Engine == EngineClassic: the classic heap has no lanes to shard.
 	Shards int
 }
+
+// Engine names accepted by Config.Engine.
+const (
+	// EngineLane is the default: per-module event lanes with deterministic
+	// ordered mailboxes (see Config.Shards for the worker count).
+	EngineLane = "lane"
+	// EngineClassic is the deprecated single global event heap, kept for
+	// one deprecation cycle to reproduce pre-flip numbers.
+	EngineClassic = "classic"
+)
 
 func (c *Config) withDefaults() (Config, error) {
 	out := *c
@@ -155,6 +171,19 @@ func (c *Config) withDefaults() (Config, error) {
 	}
 	if out.Shards < 0 {
 		return out, fmt.Errorf("simgpu: negative shard count %d", out.Shards)
+	}
+	switch out.Engine {
+	case "", EngineLane:
+		out.Engine = EngineLane
+		if out.Shards == 0 {
+			out.Shards = 1 // lane engine, sequential
+		}
+	case EngineClassic:
+		if out.Shards != 0 {
+			return out, fmt.Errorf("simgpu: engine %q has no lanes to shard (got Shards=%d); drop Shards or use the lane engine", EngineClassic, out.Shards)
+		}
+	default:
+		return out, fmt.Errorf("simgpu: unknown engine %q (want %q or %q)", out.Engine, EngineLane, EngineClassic)
 	}
 	if out.FixedWorkers != nil {
 		if len(out.FixedWorkers) != out.Spec.N() {

@@ -43,13 +43,14 @@ type Result struct {
 }
 
 // Runner executes one configuration: the shared scheduling core
-// (internal/sched) instantiated on a virtual clock — the classic global
-// event heap, or the sharded per-module lane engine when cfg.Shards >= 1 —
-// plus trace injection and result collection.
+// (internal/sched) instantiated on a virtual clock — the per-module lane
+// engine by default, or the deprecated classic global event heap when
+// cfg.Engine is EngineClassic — plus trace injection and result
+// collection.
 type Runner struct {
 	cfg Config
-	eng *sim.Engine            // classic engine (nil when sharded)
-	shx *sched.ShardedExecutor // sharded engine (nil when classic)
+	eng *sim.Engine            // classic engine (nil on the lane engine)
+	shx *sched.ShardedExecutor // lane engine (nil when classic)
 	cl  *sched.Cluster
 
 	requests    []*sched.Request
@@ -89,14 +90,14 @@ func New(cfg Config) (*Runner, error) {
 
 	r := &Runner{cfg: full}
 	var exec sched.Executor
-	if full.Shards >= 1 {
-		// Sharded engine: one event lane per module, up to Shards workers,
+	if full.Engine == EngineClassic {
+		r.eng = sim.New(full.Seed)
+		exec = sched.NewSimExecutor(r.eng)
+	} else {
+		// Lane engine: one event lane per module, up to Shards workers,
 		// conservative lookahead = the per-hop network delay.
 		r.shx = sched.NewShardedExecutor(full.Spec.N(), full.Shards, full.NetDelay)
 		exec = r.shx
-	} else {
-		r.eng = sim.New(full.Seed)
-		exec = sched.NewSimExecutor(r.eng)
 	}
 	cl, err := sched.New(sched.Config{
 		Spec:             full.Spec,

@@ -17,7 +17,12 @@ import (
 // diskFormat versions the on-disk entry layout; bump it whenever the
 // serialized types or the simulation semantics change incompatibly, and
 // stale entries simply stop matching.
-const diskFormat = 1
+//
+// v2: the lane engine became the default execution engine and run keys
+// gained a mandatory |eng= marker. Pre-flip entries were computed on the
+// classic heap under unmarked keys; the version bump retires them wholesale
+// rather than leaving classic-era artifacts to age in shared cache volumes.
+const diskFormat = 2
 
 func init() {
 	// The cache stores entry values as `any`; register the concrete types

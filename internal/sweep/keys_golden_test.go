@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"pard/internal/simgpu"
 	"pard/internal/trace"
 )
 
@@ -11,10 +12,15 @@ import (
 // workers as work-unit identifiers, name entries in shared disk caches, and
 // seed per-run RNG derivation. Any change to the key grammar silently
 // invalidates every cache and desynchronizes mixed-version clusters, so the
-// exact strings for the paper's four applications (and a sharded variant)
-// are pinned here. If a change is intentional, update these literals AND
-// bump dist.ProtoVersion / sweep's diskFormat so old peers and caches are
-// rejected instead of silently mismatched.
+// exact strings for the paper's four applications (and engine/shard
+// variants) are pinned here. If a change is intentional, update these
+// literals AND bump dist.ProtoVersion / sweep's diskFormat so old peers and
+// caches are rejected instead of silently mismatched.
+//
+// The |eng= marker is mandatory since the lane engine became the default
+// (dist.ProtoVersion 2): pre-flip caches wrote classic-default entries with
+// no marker, so neither today's default nor an explicit classic run can
+// ever be served a stale pre-flip entry.
 func TestSpecKeyGolden(t *testing.T) {
 	const base = "|p={QueueDelay:false LoadFactor:false Budget:false Decomposition:false SampleEvery:0}" +
 		"|l=0|slo=0s|w=0s|r=0|rd=0s|fw=[]|fail=[]"
@@ -24,22 +30,30 @@ func TestSpecKeyGolden(t *testing.T) {
 		want string
 	}{
 		{"tm", Spec{App: "tm", Kind: trace.Wiki, Policy: "pard"},
-			"tm|wiki|pard" + base},
+			"tm|wiki|pard" + base + "|eng=lane"},
 		{"lv", Spec{App: "lv", Kind: trace.Wiki, Policy: "pard"},
-			"lv|wiki|pard" + base},
+			"lv|wiki|pard" + base + "|eng=lane"},
 		{"gm", Spec{App: "gm", Kind: trace.Wiki, Policy: "pard"},
-			"gm|wiki|pard" + base},
+			"gm|wiki|pard" + base + "|eng=lane"},
 		{"da", Spec{App: "da", Kind: trace.Wiki, Policy: "pard"},
-			"da|wiki|pard" + base},
+			"da|wiki|pard" + base + "|eng=lane"},
+		// An explicit "lane" normalizes to the same key as the default: same
+		// semantics, same cache entry.
+		{"lane-explicit", Spec{App: "tm", Kind: trace.Wiki, Policy: "pard",
+			Opts: RunOpts{Engine: simgpu.EngineLane}},
+			"tm|wiki|pard" + base + "|eng=lane"},
+		{"classic", Spec{App: "tm", Kind: trace.Wiki, Policy: "pard",
+			Opts: RunOpts{Engine: simgpu.EngineClassic}},
+			"tm|wiki|pard" + base + "|eng=classic"},
 		{"da-sharded", Spec{App: "da", Kind: trace.Tweet, Policy: "pard", Opts: RunOpts{Shards: 4}},
-			"da|tweet|pard" + base + "|sh=4"},
+			"da|tweet|pard" + base + "|eng=lane|sh=4"},
 		{"options", Spec{App: "tm", Kind: trace.Steady, Policy: "nexus", Opts: RunOpts{
 			Lambda:      0.5,
 			SLOOverride: 450 * time.Millisecond,
 			SteadyRate:  120,
 		}},
 			"tm|steady|nexus|p={QueueDelay:false LoadFactor:false Budget:false Decomposition:false SampleEvery:0}" +
-				"|l=0.5|slo=450ms|w=0s|r=120|rd=0s|fw=[]|fail=[]"},
+				"|l=0.5|slo=450ms|w=0s|r=120|rd=0s|fw=[]|fail=[]|eng=lane"},
 	}
 	for _, c := range cases {
 		if got := c.spec.Key(); got != c.want {
@@ -50,7 +64,7 @@ func TestSpecKeyGolden(t *testing.T) {
 	// The derived seeds these keys imply are part of the same cross-process
 	// contract (a worker reproduces the coordinator's seed from the key
 	// alone); pin one to catch derivation drift too.
-	if got := DeriveSeed(1, "run|"+cases[0].spec.Key()); got != 4873940493060587280 {
+	if got := DeriveSeed(1, "run|"+cases[0].spec.Key()); got != 4234219032747783725 {
 		t.Errorf("DeriveSeed drifted: got %d", got)
 	}
 }

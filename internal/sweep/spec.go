@@ -29,10 +29,18 @@ type RunOpts struct {
 	SteadyDur time.Duration
 	// Failures injects worker crashes into the run.
 	Failures []simgpu.Failure
-	// Shards selects the simulator's execution engine (see
-	// simgpu.Config.Shards): 0 = classic global event heap, >= 1 = sharded
-	// per-module lanes. Participates in the cache key because the two
-	// engines' results are not interchangeable.
+	// Engine selects the simulator's execution engine (see
+	// simgpu.Config.Engine): "" or simgpu.EngineLane = the per-module lane
+	// engine (the default), simgpu.EngineClassic = the deprecated global
+	// event heap. The normalized engine name always participates in the
+	// cache key because the two engines' results are not interchangeable —
+	// and because pre-flip disk caches carry unmarked classic-default
+	// entries that must never be served to a lane-engine run.
+	Engine string
+	// Shards is the lane engine's worker count (see simgpu.Config.Shards):
+	// 0 and 1 both run the lanes sequentially, N > 1 drains them with N
+	// workers. Participates in the cache key when set, although lane
+	// results are byte-identical for every shard count.
 	Shards int
 }
 
@@ -66,9 +74,16 @@ func (s Spec) Key() string {
 	fmt.Fprintf(&b, "%s|%s|%s|p=%+v|l=%v|slo=%v|w=%v|r=%v|rd=%v|fw=%v|fail=%v",
 		s.appName(), s.Kind, s.Policy, o.Probes, o.Lambda, o.SLOOverride,
 		o.WindowSize, o.SteadyRate, o.SteadyDur, o.FixedWorkers, o.Failures)
+	// The engine marker is always present (normalized, so "" and an
+	// explicit "lane" share one entry). Pre-flip caches wrote classic runs
+	// with no marker at all, so neither today's lane default nor an
+	// explicit -engine classic can ever be served a stale pre-flip entry.
+	eng := o.Engine
+	if eng == "" {
+		eng = simgpu.EngineLane
+	}
+	fmt.Fprintf(&b, "|eng=%s", eng)
 	if o.Shards != 0 {
-		// Appended only when set so pre-existing disk caches keep matching
-		// classic-engine runs.
 		fmt.Fprintf(&b, "|sh=%d", o.Shards)
 	}
 	if s.Pipeline != nil {
@@ -176,6 +191,7 @@ func (e *Engine) exec(s Spec, seed int64) (*simgpu.Result, error) {
 		PriorityWindow: s.Opts.WindowSize,
 		FixedWorkers:   s.Opts.FixedWorkers,
 		Failures:       s.Opts.Failures,
+		Engine:         s.Opts.Engine,
 		Shards:         s.Opts.Shards,
 	})
 }
