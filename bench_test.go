@@ -285,6 +285,43 @@ func BenchmarkShardedDASequential(b *testing.B) { benchShardedDA(b, "", 1) }
 // internal/sched proves the outputs are byte-identical to Sequential.
 func BenchmarkShardedDASharded(b *testing.B) { benchShardedDA(b, "", 5) }
 
+// BenchmarkSweepGrid measures the end-to-end sweep hot loop — trace
+// generation, simulation, metrics collection, and percentile finalization —
+// on a small Fig. 13-style grid (lv × tweet × {pard, pard-instant} with
+// load-factor probes). Each iteration builds a fresh engine with no disk
+// cache, so nothing is served warm: allocs/op here is the allocation cost
+// of one whole grid, which is what the scratch-buffer reuse across
+// metrics/stats/trace/sweep is meant to hold down.
+func BenchmarkSweepGrid(b *testing.B) {
+	specs := []pard.SweepSpec{
+		{App: "lv", Kind: pard.Tweet, Policy: "pard",
+			Opts: pard.SweepRunOpts{Probes: pard.ProbeConfig{LoadFactor: true}}},
+		{App: "lv", Kind: pard.Tweet, Policy: "pard-instant",
+			Opts: pard.SweepRunOpts{Probes: pard.ProbeConfig{LoadFactor: true}}},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := pard.NewSweepEngine(pard.SweepConfig{
+			Workers: 1, BaseSeed: 1, TraceDuration: 30 * time.Second,
+		})
+		results, err := eng.Sweep(specs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Finalize the derived metrics every real sweep consumer reads.
+		for _, res := range results {
+			s := res.Collector.Summary()
+			if s.Total == 0 {
+				b.Fatal("empty run")
+			}
+			res.Collector.MinNormalizedGoodput(10 * time.Second)
+			res.Collector.MaxDropRate(10 * time.Second)
+			res.Collector.LatencyQuantiles(0.5, 0.9, 0.99)
+		}
+	}
+	b.ReportMetric(float64(len(specs)), "grid-points")
+}
+
 // Micro-benchmarks for the §5.4 overhead analysis.
 
 // BenchmarkDEPQOps measures put()/get() on the min-max heap at the queue

@@ -8,9 +8,11 @@
 //
 // Both flags may be given together (compare against the previous entry,
 // then write the new one). Tolerances are deliberately loose — CI runs with
-// -benchtime=1x on shared runners, so ns/op is noisy — while allocs/op is
-// nearly deterministic and pinned tightly: the trajectory exists to catch
-// "someone reintroduced per-event allocation", not 10% wall-clock wiggle.
+// -benchtime=1x on shared runners, so ns/op is noisy — while allocs/op and
+// B/op are nearly deterministic and pinned tightly: the trajectory exists to
+// catch "someone reintroduced per-event allocation", not 10% wall-clock
+// wiggle. -compare also reports metrics that land far under their floor, so
+// a stale floor is visible and the trajectory ratchets downward over time.
 package main
 
 import (
@@ -29,7 +31,13 @@ import (
 const (
 	nsTolerance     = 4.0 // wall clock: shared-runner noise dominates at -benchtime=1x
 	allocsTolerance = 1.5 // allocation counts: near-deterministic, pinned tight
+	bytesTolerance  = 1.5 // bytes/op: tracks allocation volume, similarly stable
 )
+
+// improveAt is the fraction of the floor below which -compare calls out an
+// improvement, signalling that the floor is stale and a tighter BENCH_<n>.json
+// should be committed.
+const improveAt = 0.5
 
 // Result is one benchmark's parsed metrics.
 type Result struct {
@@ -90,29 +98,39 @@ func parse(r io.Reader) ([]Result, error) {
 }
 
 // compare checks cur against the floor entry; every violation is returned
-// (not just the first) so one CI run reports the full damage.
-func compare(floor Trend, cur []Result) []string {
+// (not just the first) so one CI run reports the full damage. The second
+// return lists improvements — metrics that came in far enough under their
+// floor (see improveAt) that the trajectory should ratchet: commit a new
+// BENCH_<n>.json so the tightened numbers become the gate.
+func compare(floor Trend, cur []Result) (bad, improved []string) {
 	byName := make(map[string]Result, len(cur))
 	for _, r := range cur {
 		byName[r.Name] = r
 	}
-	var bad []string
 	for _, f := range floor.Benchmarks {
 		c, ok := byName[f.Name]
 		if !ok {
 			bad = append(bad, fmt.Sprintf("%s: present in floor but not in current run", f.Name))
 			continue
 		}
-		if f.NsPerOp > 0 && c.NsPerOp > f.NsPerOp*nsTolerance {
-			bad = append(bad, fmt.Sprintf("%s: %.0f ns/op exceeds floor %.0f x%.1f",
-				f.Name, c.NsPerOp, f.NsPerOp, nsTolerance))
+		check := func(metric string, cv, fv, tol float64) {
+			if fv <= 0 {
+				return
+			}
+			switch {
+			case cv > fv*tol:
+				bad = append(bad, fmt.Sprintf("%s: %.0f %s exceeds floor %.0f x%.1f",
+					f.Name, cv, metric, fv, tol))
+			case cv > 0 && cv < fv*improveAt:
+				improved = append(improved, fmt.Sprintf("%s: %.0f %s is %.1fx under floor %.0f — ratchet the trajectory",
+					f.Name, cv, metric, fv/cv, fv))
+			}
 		}
-		if f.AllocsPerOp > 0 && c.AllocsPerOp > f.AllocsPerOp*allocsTolerance {
-			bad = append(bad, fmt.Sprintf("%s: %.0f allocs/op exceeds floor %.0f x%.1f",
-				f.Name, c.AllocsPerOp, f.AllocsPerOp, allocsTolerance))
-		}
+		check("ns/op", c.NsPerOp, f.NsPerOp, nsTolerance)
+		check("allocs/op", c.AllocsPerOp, f.AllocsPerOp, allocsTolerance)
+		check("B/op", c.BytesPerOp, f.BytesPerOp, bytesTolerance)
 	}
-	return bad
+	return bad, improved
 }
 
 func main() {
@@ -146,7 +164,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchtrend: %s: %v\n", *compareTo, err)
 			os.Exit(2)
 		}
-		if bad := compare(floor, cur); len(bad) > 0 {
+		bad, improved := compare(floor, cur)
+		for _, s := range improved {
+			fmt.Println("IMPROVEMENT " + s)
+		}
+		if len(bad) > 0 {
 			for _, b := range bad {
 				fmt.Fprintln(os.Stderr, "REGRESSION "+b)
 			}

@@ -41,18 +41,58 @@ func TestCompare(t *testing.T) {
 	}}
 	ok := []Result{
 		{Name: "A", NsPerOp: 100 * nsTolerance, AllocsPerOp: 1000 * allocsTolerance},
-		{Name: "B", NsPerOp: 50},
+		{Name: "B", NsPerOp: 51},  // just above the improvement threshold
 		{Name: "C", NsPerOp: 9e9}, // new benchmark: no floor yet, never a failure
 	}
-	if bad := compare(floor, ok); len(bad) != 0 {
-		t.Fatalf("at-tolerance run flagged: %v", bad)
+	if bad, improved := compare(floor, ok); len(bad) != 0 || len(improved) != 0 {
+		t.Fatalf("at-tolerance run flagged: bad=%v improved=%v", bad, improved)
 	}
 	regressed := []Result{
 		{Name: "A", NsPerOp: 100, AllocsPerOp: 1000*allocsTolerance + 1},
 		// B missing entirely.
 	}
-	bad := compare(floor, regressed)
+	bad, _ := compare(floor, regressed)
 	if len(bad) != 2 {
 		t.Fatalf("want 2 violations (allocs regression + missing B), got: %v", bad)
+	}
+}
+
+func TestCompareGatesBytes(t *testing.T) {
+	floor := Trend{Benchmarks: []Result{
+		{Name: "A", NsPerOp: 100, BytesPerOp: 1 << 20},
+	}}
+	ok := []Result{{Name: "A", NsPerOp: 100, BytesPerOp: (1 << 20) * bytesTolerance}}
+	if bad, _ := compare(floor, ok); len(bad) != 0 {
+		t.Fatalf("at-tolerance bytes flagged: %v", bad)
+	}
+	regressed := []Result{{Name: "A", NsPerOp: 100, BytesPerOp: (1<<20)*bytesTolerance + 1}}
+	bad, _ := compare(floor, regressed)
+	if len(bad) != 1 || !strings.Contains(bad[0], "B/op") {
+		t.Fatalf("want 1 B/op violation, got: %v", bad)
+	}
+	// A floor without B/op never gates bytes.
+	noBytes := Trend{Benchmarks: []Result{{Name: "A", NsPerOp: 100}}}
+	if bad, _ := compare(noBytes, regressed); len(bad) != 0 {
+		t.Fatalf("byteless floor flagged bytes: %v", bad)
+	}
+}
+
+func TestCompareReportsImprovements(t *testing.T) {
+	floor := Trend{Benchmarks: []Result{
+		{Name: "A", NsPerOp: 1000, AllocsPerOp: 1000, BytesPerOp: 1000},
+	}}
+	// Allocations collapsed 10x; ns and bytes hold steady.
+	cur := []Result{{Name: "A", NsPerOp: 1000, AllocsPerOp: 100, BytesPerOp: 1000}}
+	bad, improved := compare(floor, cur)
+	if len(bad) != 0 {
+		t.Fatalf("improved run flagged as regression: %v", bad)
+	}
+	if len(improved) != 1 || !strings.Contains(improved[0], "allocs/op") {
+		t.Fatalf("want 1 allocs/op improvement, got: %v", improved)
+	}
+	// Exactly at the threshold is not yet an improvement.
+	at := []Result{{Name: "A", NsPerOp: 1000, AllocsPerOp: 1000 * improveAt, BytesPerOp: 1000}}
+	if _, improved := compare(floor, at); len(improved) != 0 {
+		t.Fatalf("at-threshold run reported improvement: %v", improved)
 	}
 }

@@ -142,6 +142,13 @@ type Estimator struct {
 	paths [][][]int // paths[k]: downstream paths (module id sequences) from k
 	lsub  []time.Duration
 	rng   *rand.Rand
+
+	// computePath scratch, reused across paths and sync ticks: srcScratch
+	// collects the per-module batch-wait sources, sumScratch holds the
+	// Monte-Carlo sums, dsScratch the analytic per-module durations.
+	srcScratch [][]float64
+	sumScratch []float64
+	dsScratch  []float64
 }
 
 // NewEstimator builds an estimator for the pipeline. The spec must be valid.
@@ -205,10 +212,13 @@ func (br Breakdown) Total(cfg EstimatorConfig) time.Duration {
 	return total
 }
 
-// computePath evaluates one downstream path's breakdown from the board.
+// computePath evaluates one downstream path's breakdown from the board. It
+// reuses the estimator's scratch buffers (this runs per path per sync tick),
+// so an Estimator is not safe for concurrent use — it never was: the
+// Monte-Carlo rng draw order is part of the deterministic output.
 func (e *Estimator) computePath(b *Board, path []int) Breakdown {
 	br := Breakdown{Path: path}
-	var waitSrc [][]float64
+	waitSrc := e.srcScratch[:0]
 	for _, id := range path {
 		s := b.Get(id)
 		br.Queue += s.QueueDelay
@@ -217,20 +227,23 @@ func (e *Estimator) computePath(b *Board, path []int) Breakdown {
 			waitSrc = append(waitSrc, s.BatchWait)
 		}
 	}
+	e.srcScratch = waitSrc
 	switch e.cfg.Wait {
 	case WaitZero:
 		// nothing
 	case WaitUpper:
 		br.Wait = br.Exec
 	case WaitAnalytic:
-		ds := make([]float64, 0, len(path))
+		ds := e.dsScratch[:0]
 		for _, id := range path {
 			ds = append(ds, b.Get(id).ProfiledDur.Seconds())
 		}
+		e.dsScratch = ds
 		w := stats.UniformSumQuantile(ds, e.cfg.Lambda)
 		br.Wait = time.Duration(w * float64(time.Second))
 	case WaitQuantile:
-		w := stats.ConvolveQuantile(waitSrc, e.cfg.Lambda, e.cfg.Samples, e.rng)
+		var w float64
+		w, e.sumScratch = stats.ConvolveQuantileInto(e.sumScratch, waitSrc, e.cfg.Lambda, e.cfg.Samples, e.rng)
 		wd := time.Duration(w * float64(time.Second))
 		if wd > br.Exec {
 			wd = br.Exec // W_i never exceeds d_i per module (Fig. 3b)

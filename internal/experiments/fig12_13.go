@@ -91,10 +91,24 @@ func fig12b(h *Harness) (*Output, error) {
 		Columns: []string{"quantile", "ΣQ", "ΣW", "ΣD"},
 	}
 	qs := []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99}
-	for _, q := range qs {
+	// One reusable Empirical per column: res.SumQ/SumW/SumD are cached
+	// result slices (shared across figures and gob-serialized), so they must
+	// never be sorted in place — Reset copies, and each column sorts once
+	// instead of once per quantile.
+	cols := [][]float64{res.SumQ, res.SumW, res.SumD}
+	vals := make([][]float64, len(cols))
+	var emp stats.Empirical
+	for i, samples := range cols {
+		emp.Reset(samples)
+		vals[i] = make([]float64, len(qs))
+		for j, q := range qs {
+			vals[i][j] = emp.Quantile(q)
+		}
+	}
+	for j, q := range qs {
 		row := []string{fmt.Sprintf("p%.0f", q*100)}
-		for _, samples := range [][]float64{res.SumQ, res.SumW, res.SumD} {
-			row = append(row, f1(stats.Percentiles(samples, q)[0]*1000))
+		for i := range cols {
+			row = append(row, f1(vals[i][j]*1000))
 		}
 		t.Rows = append(t.Rows, row)
 	}

@@ -91,10 +91,22 @@ func fig15b(h *Harness) (*Output, error) {
 		Title:   "RAG per-module latency percentiles (ms)",
 		Columns: []string{"percentile", "rewrite", "retrieve", "search", "generate"},
 	}
-	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+	// Reusable Empirical per module column: the cached sample slices stay
+	// untouched (Reset copies) and each column sorts once for all quantiles.
+	qs := []float64{0.1, 0.5, 0.9, 0.99}
+	vals := make([][]float64, len(res.Latencies))
+	var emp stats.Empirical
+	for i, s := range res.Latencies {
+		emp.Reset(s.Samples)
+		vals[i] = make([]float64, len(qs))
+		for j, q := range qs {
+			vals[i][j] = emp.Quantile(q)
+		}
+	}
+	for j, q := range qs {
 		row := []string{fmt.Sprintf("p%.0f", q*100)}
-		for _, s := range res.Latencies {
-			row = append(row, f1(stats.Percentiles(s.Samples, q)[0]*1000))
+		for i := range res.Latencies {
+			row = append(row, f1(vals[i][j]*1000))
 		}
 		t.Rows = append(t.Rows, row)
 	}

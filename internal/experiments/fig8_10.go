@@ -122,10 +122,14 @@ func fig10(h *Harness) (*Output, error) {
 	}
 	var tables []Table
 
-	// Left panel: the traces themselves.
+	// Left panel: the traces themselves. One per-second count scratch is
+	// recycled across the kinds (st.PerSecond aliases it, so it is only read
+	// within the iteration).
+	var secScratch []float64
 	for _, kind := range traces12 {
 		tr := h.Trace(kind)
-		st := tr.Analyze()
+		st := tr.AnalyzeInto(secScratch)
+		secScratch = st.PerSecond
 		t := Table{
 			ID:      fmt.Sprintf("fig10-trace-%s", kind),
 			Title:   fmt.Sprintf("request rate over time, %s trace (CV %.2f, burst CV %.2f)", kind, st.CV, st.BurstCV),

@@ -1,0 +1,64 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+// These tests pin the finalization hot path: deriving windowed metrics and
+// latency quantiles from a populated collector reuses the collector's
+// scratch buffers, so repeated per-width sweeps (Figs. 2, 8-10) allocate
+// nothing — or, for LatencyQuantiles, only the caller-owned result slice.
+
+func populatedCollector(n int) *Collector {
+	c := NewCollector(100*time.Millisecond, 3)
+	c.Grow(n)
+	for i := 0; i < n; i++ {
+		send := time.Duration(i) * 10 * time.Millisecond
+		r := Record{Send: send, Done: send + 50*time.Millisecond, GPUTime: time.Millisecond}
+		switch i % 5 {
+		case 3:
+			r.Outcome = Late
+			r.Done = send + 200*time.Millisecond
+		case 4:
+			r.Outcome = DroppedOutcome
+			r.DropModule = i % 3
+		}
+		c.Add(r)
+	}
+	return c
+}
+
+// TestAllocsWindowMetrics: the window-derived scalar metrics reuse the
+// collector's window scratch after the first call.
+func TestAllocsWindowMetrics(t *testing.T) {
+	c := populatedCollector(2000)
+	width := time.Second
+	// Warm the scratch.
+	c.MinNormalizedGoodput(width)
+
+	avg := testing.AllocsPerRun(100, func() {
+		c.MinNormalizedGoodput(width)
+		c.DropRateAtMinGoodput(width)
+		c.MaxDropRate(width)
+	})
+	if avg != 0 {
+		t.Fatalf("window metric derivation allocates %.1f per round, want 0", avg)
+	}
+}
+
+// TestAllocsLatencyQuantiles: after warm-up, the only allocation is the
+// returned result slice — the latency scratch is reused and sorting is
+// in-place.
+func TestAllocsLatencyQuantiles(t *testing.T) {
+	c := populatedCollector(2000)
+	qs := []float64{0.5, 0.9, 0.99}
+	c.LatencyQuantiles(qs...)
+
+	avg := testing.AllocsPerRun(100, func() {
+		c.LatencyQuantiles(qs...)
+	})
+	if avg > 1 {
+		t.Fatalf("LatencyQuantiles allocates %.1f per call, want <= 1 (the result slice)", avg)
+	}
+}

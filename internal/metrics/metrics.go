@@ -16,8 +16,10 @@ import (
 	"encoding/gob"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"time"
+
+	"pard/internal/stats"
 )
 
 // Outcome classifies how a request's lifecycle ended.
@@ -62,7 +64,10 @@ type Record struct {
 // Bad reports whether the record counts as dropped for drop-rate purposes.
 func (r Record) Bad() bool { return r.Outcome != Good }
 
-// Collector accumulates request records for one run.
+// Collector accumulates request records for one run. It reuses internal
+// scratch buffers across derived-metric calls (windows, latency quantiles),
+// so a Collector is NOT safe for concurrent use; the sweep engine only ever
+// finalizes a collector from a single goroutine.
 type Collector struct {
 	SLO      time.Duration
 	NModules int
@@ -73,6 +78,11 @@ type Collector struct {
 	gpuTotal, gpuWasted time.Duration
 	perModuleDrops      []int
 	end                 time.Duration
+
+	// finalization scratch, reused across calls (never serialized; the gob
+	// format is pinned by collectorWire)
+	winScratch []WindowPoint
+	latScratch []float64
 }
 
 // NewCollector returns a collector for a pipeline with n modules.
@@ -84,6 +94,19 @@ func NewCollector(slo time.Duration, n int) *Collector {
 		panic(fmt.Sprintf("metrics: module count must be >=1, got %d", n))
 	}
 	return &Collector{SLO: slo, NModules: n, perModuleDrops: make([]int, n)}
+}
+
+// Grow pre-sizes the record buffer for at least n additional records,
+// turning the append growth chain in a large run into one allocation.
+func (c *Collector) Grow(n int) {
+	if n <= 0 {
+		return
+	}
+	if free := cap(c.records) - len(c.records); free < n {
+		grown := make([]Record, len(c.records), len(c.records)+n)
+		copy(grown, c.records)
+		c.records = grown
+	}
 }
 
 // Add records one finished request.
@@ -138,6 +161,7 @@ func (c *Collector) GobDecode(data []byte) error {
 		return err
 	}
 	*c = *NewCollector(w.SLO, w.NModules)
+	c.Grow(len(w.Records))
 	for _, r := range w.Records {
 		c.Add(r)
 	}
@@ -227,8 +251,24 @@ func (w WindowPoint) DropRate() float64 {
 }
 
 // Windows buckets requests by send time into consecutive windows of the
-// given width covering [0, End].
+// given width covering [0, End]. The returned slice is freshly allocated and
+// owned by the caller; internal metric derivations use windowsInto instead.
 func (c *Collector) Windows(width time.Duration) []WindowPoint {
+	return c.windowsInto(nil, width)
+}
+
+// windows returns the bucketing for width via the collector's reusable
+// scratch. The result aliases c.winScratch and is valid until the next
+// windows/Windows call on this collector.
+func (c *Collector) windows(width time.Duration) []WindowPoint {
+	c.winScratch = c.windowsInto(c.winScratch, width)
+	return c.winScratch
+}
+
+// windowsInto is Windows writing into a caller-supplied buffer (grown only
+// when capacity is short), so the repeated per-width sweeps behind Figs. 2
+// and 8-10 don't materialize a fresh []WindowPoint per width.
+func (c *Collector) windowsInto(buf []WindowPoint, width time.Duration) []WindowPoint {
 	if width <= 0 {
 		panic(fmt.Sprintf("metrics: window width must be positive, got %v", width))
 	}
@@ -236,9 +276,14 @@ func (c *Collector) Windows(width time.Duration) []WindowPoint {
 		return nil
 	}
 	n := int(c.end/width) + 1
-	out := make([]WindowPoint, n)
+	var out []WindowPoint
+	if cap(buf) >= n {
+		out = buf[:n]
+	} else {
+		out = make([]WindowPoint, n)
+	}
 	for i := range out {
-		out[i].Start = time.Duration(i) * width
+		out[i] = WindowPoint{Start: time.Duration(i) * width}
 	}
 	for _, r := range c.records {
 		i := int(r.Send / width)
@@ -259,7 +304,7 @@ func (c *Collector) Windows(width time.Duration) []WindowPoint {
 // goodput, skipping empty windows (Fig. 2a).
 func (c *Collector) MinNormalizedGoodput(width time.Duration) float64 {
 	min := math.Inf(1)
-	for _, w := range c.Windows(width) {
+	for _, w := range c.windows(width) {
 		if w.Arrived == 0 {
 			continue
 		}
@@ -278,7 +323,7 @@ func (c *Collector) MinNormalizedGoodput(width time.Duration) float64 {
 // windows).
 func (c *Collector) DropRateAtMinGoodput(width time.Duration) float64 {
 	min, rate := math.Inf(1), 0.0
-	for _, w := range c.Windows(width) {
+	for _, w := range c.windows(width) {
 		if w.Arrived == 0 {
 			continue
 		}
@@ -292,7 +337,7 @@ func (c *Collector) DropRateAtMinGoodput(width time.Duration) float64 {
 // MaxDropRate returns the maximum per-window drop rate (Fig. 9).
 func (c *Collector) MaxDropRate(width time.Duration) float64 {
 	max := 0.0
-	for _, w := range c.Windows(width) {
+	for _, w := range c.windows(width) {
 		if r := w.DropRate(); r > max {
 			max = r
 		}
@@ -303,7 +348,7 @@ func (c *Collector) MaxDropRate(width time.Duration) float64 {
 // GoodputSeries returns (start, normalized goodput) pairs for plotting the
 // Fig. 10 timelines.
 func (c *Collector) GoodputSeries(width time.Duration) ([]time.Duration, []float64) {
-	ws := c.Windows(width)
+	ws := c.windows(width)
 	ts := make([]time.Duration, len(ws))
 	vs := make([]float64, len(ws))
 	for i, w := range ws {
@@ -316,7 +361,7 @@ func (c *Collector) GoodputSeries(width time.Duration) ([]time.Duration, []float
 // DropRateSeries returns (start, drop rate) pairs (Fig. 2d transient drop
 // rate).
 func (c *Collector) DropRateSeries(width time.Duration) ([]time.Duration, []float64) {
-	ws := c.Windows(width)
+	ws := c.windows(width)
 	ts := make([]time.Duration, len(ws))
 	vs := make([]float64, len(ws))
 	for i, w := range ws {
@@ -328,32 +373,25 @@ func (c *Collector) DropRateSeries(width time.Duration) ([]time.Duration, []floa
 
 // LatencyQuantiles returns end-to-end latency quantiles (each q in [0,1])
 // over completed requests (Good and Late outcomes; drops have no meaningful
-// completion latency). Returns nil when nothing completed.
+// completion latency). Returns nil when nothing completed. Latencies
+// accumulate into a reusable scratch, sorted once per call with the
+// reflection-free slices.Sort; every quantile reads the one sorted scratch.
 func (c *Collector) LatencyQuantiles(qs ...float64) []time.Duration {
-	lats := make([]float64, 0, len(c.records))
+	lats := c.latScratch[:0]
 	for _, r := range c.records {
 		if r.Outcome == DroppedOutcome {
 			continue
 		}
 		lats = append(lats, (r.Done - r.Send).Seconds())
 	}
+	c.latScratch = lats
 	if len(lats) == 0 {
 		return nil
 	}
-	sort.Float64s(lats)
+	slices.Sort(lats)
 	out := make([]time.Duration, len(qs))
 	for i, q := range qs {
-		if q < 0 {
-			q = 0
-		}
-		if q > 1 {
-			q = 1
-		}
-		idx := int(math.Ceil(q*float64(len(lats)))) - 1
-		if idx < 0 {
-			idx = 0
-		}
-		out[i] = time.Duration(lats[idx] * float64(time.Second))
+		out[i] = time.Duration(stats.QuantileSorted(lats, q) * float64(time.Second))
 	}
 	return out
 }
@@ -410,22 +448,13 @@ func (s *Series) Bucketed(width time.Duration) ([]time.Duration, []float64) {
 	return ts, vs
 }
 
-// Quantile returns the q-quantile of the series values.
+// Quantile returns the q-quantile of the series values. The series is
+// read-only: values are copied before sorting.
 func (s *Series) Quantile(q float64) float64 {
 	if len(s.V) == 0 {
 		return 0
 	}
 	cp := append([]float64(nil), s.V...)
-	sort.Float64s(cp)
-	if q <= 0 {
-		return cp[0]
-	}
-	if q >= 1 {
-		return cp[len(cp)-1]
-	}
-	idx := int(math.Ceil(q*float64(len(cp)))) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	return cp[idx]
+	slices.Sort(cp)
+	return stats.QuantileSorted(cp, q)
 }

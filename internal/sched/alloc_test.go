@@ -39,6 +39,39 @@ func TestAllocsEventDispatch(t *testing.T) {
 	}
 }
 
+// TestAllocsScheduleEventLanePath: Cluster.scheduleEvent with the lane
+// scheduler wired allocates nothing per event. The classic-heap fallback is
+// quarantined behind a noinline wrapper precisely so the by-value event
+// parameter cannot be forced to escape at scheduleEvent entry; this floor
+// catches anyone re-merging the two branches.
+func TestAllocsScheduleEventLanePath(t *testing.T) {
+	x := NewShardedExecutor(2, 1, time.Millisecond)
+	x.running = true
+	cl := &Cluster{ls: x}
+	fired := 0
+	ev := laneEvent{name: "hop", fn: func(now time.Duration) { fired++ }}
+
+	for i := 0; i < 64; i++ {
+		cl.scheduleEvent(0, 1, time.Duration(i), ev)
+	}
+	x.flushOutboxes()
+	x.lanes[1].run(0, 1<<62)
+
+	at := time.Duration(1 << 20)
+	avg := testing.AllocsPerRun(200, func() {
+		cl.scheduleEvent(0, 1, at, ev)
+		x.flushOutboxes()
+		x.lanes[1].run(at, at+1)
+		at++
+	})
+	if avg != 0 {
+		t.Fatalf("lane-path scheduleEvent allocates %.1f per event, want 0", avg)
+	}
+	if fired == 0 {
+		t.Fatal("events never fired")
+	}
+}
+
 // TestAllocsMailboxCommit: a full cross-lane round trip — outbox post,
 // barrier mailbox merge, destination dispatch — plus a laneBridge intent
 // commit, all at zero allocations per event in steady state.

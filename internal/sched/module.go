@@ -48,6 +48,12 @@ type module struct {
 	// barrier (see Cluster.flushCharges). The slab is reused across windows.
 	charges []chargeRec
 
+	// publish scratch, reused across sync ticks: wclScratch holds the WCL
+	// window values (module-owned, safe to sort in place), pctScratch the
+	// percentile outputs.
+	wclScratch []float64
+	pctScratch []float64
+
 	// Probes.
 	queueDelayProbe *metrics.Series
 	loadProbe       *metrics.Series
@@ -251,8 +257,10 @@ func (m *module) probeBudget(arrive, done time.Duration) {
 func (m *module) publish(now time.Duration, board *core.Board) {
 	qMean, _ := m.qWin.Mean(now)
 	wcl := 0.0
-	if vs := m.wclWin.Values(now); len(vs) > 0 {
-		wcl = stats.Percentiles(vs, 0.95)[0]
+	m.wclScratch = m.wclWin.ValuesInto(now, m.wclScratch)
+	if len(m.wclScratch) > 0 {
+		m.pctScratch = stats.PercentilesInto(m.pctScratch[:0], m.wclScratch, 0.95)
+		wcl = m.pctScratch[0]
 	}
 	st := core.ModuleState{
 		QueueDelay:  time.Duration(qMean * float64(time.Second)),

@@ -287,6 +287,17 @@ func (c *Cluster) scheduleEvent(src, dst int, at time.Duration, ev laneEvent) {
 		c.ls.scheduleLaneEvent(src, dst, at, ev)
 		return
 	}
+	c.scheduleClassic(at, ev)
+}
+
+// scheduleClassic wraps the event for a plain global-queue executor. Kept out
+// of scheduleEvent — and out of its inliner's reach — so the ev.fire method
+// value, which forces its receiver to the heap at function entry, is only
+// materialized on the classic path; on the lane path ev stays
+// stack-allocated through scheduleEvent.
+//
+//go:noinline
+func (c *Cluster) scheduleClassic(at time.Duration, ev laneEvent) {
 	c.exec.Schedule(at, ev.name, ev.fire)
 }
 

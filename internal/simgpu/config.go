@@ -2,6 +2,8 @@ package simgpu
 
 import (
 	"fmt"
+	"log"
+	"sync/atomic"
 	"time"
 
 	"pard/internal/pipeline"
@@ -114,6 +116,27 @@ const (
 	EngineClassic = "classic"
 )
 
+// Warnf emits deprecation warnings; a package variable so tests (and hosts
+// with their own logging) can capture it. It must be safe to call
+// concurrently.
+var Warnf = func(format string, args ...any) { log.Printf(format, args...) }
+
+// classicWarned collapses the classic-engine deprecation warning to one
+// emission per process: a sweep instantiates hundreds of runners, and the
+// warning is about the selection, not each run. (An atomic rather than a
+// sync.Once so tests can reset it.)
+var classicWarned atomic.Bool
+
+// warnClassicDeprecated announces the classic engine's scheduled removal the
+// first time a run selects it.
+func warnClassicDeprecated() {
+	if classicWarned.CompareAndSwap(false, true) {
+		Warnf("simgpu: engine %q is deprecated and will be removed next cycle; "+
+			"the lane engine (the default) is bit-stable across shard counts and faster — "+
+			"drop -engine/Engine overrides to migrate", EngineClassic)
+	}
+}
+
 func (c *Config) withDefaults() (Config, error) {
 	out := *c
 	if out.Spec == nil {
@@ -182,6 +205,7 @@ func (c *Config) withDefaults() (Config, error) {
 		if out.Shards != 0 {
 			return out, fmt.Errorf("simgpu: engine %q has no lanes to shard (got Shards=%d); drop Shards or use the lane engine", EngineClassic, out.Shards)
 		}
+		warnClassicDeprecated()
 	default:
 		return out, fmt.Errorf("simgpu: unknown engine %q (want %q or %q)", out.Engine, EngineLane, EngineClassic)
 	}

@@ -1,0 +1,69 @@
+package simgpu
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"pard/internal/pipeline"
+	"testing"
+	"time"
+)
+
+// withCapturedWarnings redirects Warnf to a buffer and resets the
+// once-per-process latch so each test observes a fresh deprecation state.
+func withCapturedWarnings(t *testing.T) *[]string {
+	t.Helper()
+	var mu sync.Mutex
+	var captured []string
+	prev := Warnf
+	prevWarned := classicWarned.Load()
+	Warnf = func(format string, args ...any) {
+		mu.Lock()
+		captured = append(captured, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+	classicWarned.Store(false)
+	t.Cleanup(func() {
+		Warnf = prev
+		classicWarned.Store(prevWarned)
+	})
+	return &captured
+}
+
+func TestClassicEngineWarnsOnce(t *testing.T) {
+	captured := withCapturedWarnings(t)
+	tr := steadyTrace(50, 2*time.Second, 1)
+
+	// Selecting the classic engine repeatedly warns exactly once per process.
+	for i := 0; i < 3; i++ {
+		cfg := Config{Spec: pipeline.LV(), PolicyName: "pard", Trace: tr, Seed: 1, Engine: EngineClassic}
+		if _, err := cfg.withDefaults(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(*captured) != 1 {
+		t.Fatalf("classic engine selected 3 times warned %d times, want 1: %q", len(*captured), *captured)
+	}
+	msg := (*captured)[0]
+	for _, want := range []string{"classic", "deprecated", "removed"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("warning %q does not mention %q", msg, want)
+		}
+	}
+}
+
+func TestLaneEngineNeverWarns(t *testing.T) {
+	captured := withCapturedWarnings(t)
+	tr := steadyTrace(50, 2*time.Second, 1)
+
+	for _, engine := range []string{"", EngineLane} {
+		cfg := Config{Spec: pipeline.LV(), PolicyName: "pard", Trace: tr, Seed: 1, Engine: engine}
+		if _, err := cfg.withDefaults(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(*captured) != 0 {
+		t.Fatalf("lane engine selection warned: %q", *captured)
+	}
+}

@@ -144,17 +144,19 @@ func (r *Runner) onDrop(req *sched.Request, k int, now time.Duration) {
 }
 
 // inject schedules all trace arrivals as client sends into the source
-// module.
+// module. Requests live in one slab — a single allocation instead of one
+// per arrival — and r.requests points into it (pointer identity per request
+// is preserved for the run's lifetime, which the core relies on).
 func (r *Runner) inject() {
 	slo := r.cfg.Spec.SLO
-	r.requests = make([]*sched.Request, 0, r.cfg.Trace.Len())
+	slab := make([]sched.Request, r.cfg.Trace.Len())
+	r.requests = make([]*sched.Request, 0, len(slab))
 	for i, at := range r.cfg.Trace.Arrivals {
-		req := &sched.Request{
-			ID:         uint64(i),
-			Send:       at,
-			Deadline:   at + slo,
-			DropModule: -1,
-		}
+		req := &slab[i]
+		req.ID = uint64(i)
+		req.Send = at
+		req.Deadline = at + slo
+		req.DropModule = -1
 		r.requests = append(r.requests, req)
 		r.outstanding++
 		r.cl.Inject(req, at)
@@ -236,6 +238,7 @@ func (r *Runner) runSharded() {
 
 func (r *Runner) buildResult() *Result {
 	col := metrics.NewCollector(r.cfg.Spec.SLO, r.cfg.Spec.N())
+	col.Grow(len(r.requests))
 	for _, req := range r.requests {
 		rec := metrics.Record{
 			Send:       req.Send,

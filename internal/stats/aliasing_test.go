@@ -1,0 +1,159 @@
+package stats
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+	"time"
+)
+
+// The tests in this file pin the package's aliasing contracts: which APIs
+// return live internal buffers, which sort their inputs in place, and which
+// are guaranteed read-only. Call sites across sched/metrics/experiments rely
+// on these distinctions to share cached slices safely.
+
+func TestReservoirValuesIsLiveBuffer(t *testing.T) {
+	r := NewReservoir(4, rand.New(rand.NewSource(1)))
+	for i := 0; i < 4; i++ {
+		r.Add(float64(i))
+	}
+	vs := r.Values()
+	if len(vs) != 4 {
+		t.Fatalf("len = %d", len(vs))
+	}
+	// The contract is "live buffer, read-only": the same backing array keeps
+	// receiving replacements on subsequent Adds, so a caller that held on to
+	// the slice observes them. This is intentional — publication paths must
+	// copy (and do: module.publish copies into ModuleState.BatchWait).
+	before := append([]float64(nil), vs...)
+	for i := 0; i < 100; i++ {
+		r.Add(float64(100 + i))
+	}
+	if slices.Equal(before, vs) {
+		t.Fatal("100 adds to a full reservoir replaced nothing; Values no longer aliases the live buffer?")
+	}
+}
+
+func TestPercentilesDoesNotMutateInput(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	orig := append([]float64(nil), xs...)
+	got := Percentiles(xs, 0, 0.5, 1)
+	if !slices.Equal(xs, orig) {
+		t.Fatalf("Percentiles reordered its input: %v", xs)
+	}
+	if got[0] != 1 || got[1] != 3 || got[2] != 5 {
+		t.Fatalf("quantiles = %v", got)
+	}
+}
+
+func TestPercentilesIntoSortsInPlace(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	got := PercentilesInto(nil, xs, 0, 0.5, 1)
+	if !slices.IsSorted(xs) {
+		t.Fatalf("PercentilesInto left input unsorted: %v (the documented contract is an in-place sort)", xs)
+	}
+	if got[0] != 1 || got[1] != 3 || got[2] != 5 {
+		t.Fatalf("quantiles = %v", got)
+	}
+	// Append semantics: results are appended to dst.
+	got2 := PercentilesInto([]float64{-1}, xs, 0.5)
+	if len(got2) != 2 || got2[0] != -1 || got2[1] != 3 {
+		t.Fatalf("append semantics broken: %v", got2)
+	}
+}
+
+func TestPercentilesIntoMatchesPercentiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	qs := []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1}
+	for trial := 0; trial < 50; trial++ {
+		xs := make([]float64, 1+rng.Intn(200))
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		want := Percentiles(xs, qs...)
+		got := PercentilesInto(nil, append([]float64(nil), xs...), qs...)
+		if !slices.Equal(got, want) {
+			t.Fatalf("trial %d: PercentilesInto %v != Percentiles %v", trial, got, want)
+		}
+	}
+	if got := PercentilesInto(nil, nil, 0.5); got[0] != 0 {
+		t.Fatalf("empty input quantile = %v, want 0", got[0])
+	}
+}
+
+func TestConvolveDoesNotMutateSources(t *testing.T) {
+	src := [][]float64{{3, 1, 2}, {9, 7, 8}}
+	orig := [][]float64{append([]float64(nil), src[0]...), append([]float64(nil), src[1]...)}
+	rng := rand.New(rand.NewSource(3))
+	ConvolveQuantile(src, 0.5, 100, rng)
+	ConvolveSamples(src, 100, rng)
+	var scratch []float64
+	_, scratch = ConvolveQuantileInto(scratch, src, 0.5, 100, rng)
+	ConvolveSamplesInto(scratch, src, 100, rng)
+	for i := range src {
+		if !slices.Equal(src[i], orig[i]) {
+			t.Fatalf("source %d mutated: %v", i, src[i])
+		}
+	}
+}
+
+func TestConvolveIntoMatchesConvolve(t *testing.T) {
+	src := [][]float64{{0.1, 0.2, 0.3}, nil, {0.5}, {0.05, 0.15}}
+	for _, q := range []float64{0, 0.1, 0.5, 0.9, 1} {
+		a := rand.New(rand.NewSource(11))
+		b := rand.New(rand.NewSource(11))
+		want := ConvolveQuantile(src, q, 500, a)
+		var scratch []float64
+		// Warm the scratch with garbage first to prove it is fully reset.
+		scratch = append(scratch, 1e9, -1e9)
+		got, _ := ConvolveQuantileInto(scratch, src, q, 500, b)
+		if got != want {
+			t.Fatalf("q=%v: Into %v != plain %v (RNG draw order must be identical)", q, got, want)
+		}
+	}
+	a := rand.New(rand.NewSource(13))
+	b := rand.New(rand.NewSource(13))
+	want := ConvolveSamples(src, 300, a)
+	got := ConvolveSamplesInto(make([]float64, 5, 400), src, 300, b)
+	if !slices.Equal(got, want) {
+		t.Fatal("ConvolveSamplesInto diverged from ConvolveSamples")
+	}
+}
+
+func TestEmpiricalCopiesItsInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	d := NewEmpirical(xs)
+	xs[0] = -100
+	if q := d.Quantile(0); q != 1 {
+		t.Fatalf("NewEmpirical aliased its input: min = %v", q)
+	}
+	ys := []float64{3, 1, 2}
+	var e Empirical
+	e.Reset(ys)
+	ys[0] = 1e9
+	if q := e.Quantile(1); q != 3 {
+		t.Fatalf("Reset aliased its input: max = %v", q)
+	}
+	// Reset reuses the internal buffer across calls.
+	e.Reset([]float64{9})
+	if e.Len() != 1 || e.Quantile(0.5) != 9 {
+		t.Fatalf("Reset did not reload: len=%d", e.Len())
+	}
+}
+
+func TestSlidingWindowValuesIntoMatchesValues(t *testing.T) {
+	w := NewSlidingWindow(5 * time.Second)
+	for i := 0; i < 20; i++ {
+		w.Add(time.Duration(i)*time.Second, float64(i))
+	}
+	now := 19 * time.Second
+	want := w.Values(now)
+	buf := make([]float64, 3, 64)
+	got := w.ValuesInto(now, buf)
+	if !slices.Equal(got, want) {
+		t.Fatalf("ValuesInto %v != Values %v", got, want)
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Fatal("ValuesInto did not reuse the provided buffer capacity")
+	}
+}

@@ -1,0 +1,51 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// These tests pin the in-place percentile/convolution variants: with reused
+// scratch, the estimator and metrics hot paths allocate nothing per call.
+
+// TestAllocsPercentilesInto: window extraction plus percentile computation
+// through reused buffers is allocation-free.
+func TestAllocsPercentilesInto(t *testing.T) {
+	w := NewSlidingWindow(5 * time.Second)
+	for i := 0; i < 256; i++ {
+		w.Add(time.Duration(i)*20*time.Millisecond, float64(i%37))
+	}
+	now := 255 * 20 * time.Millisecond
+	qs := []float64{0.5, 0.95}
+	var vals, pcts []float64
+	vals = w.ValuesInto(now, vals)
+	pcts = PercentilesInto(pcts[:0], vals, qs...)
+
+	avg := testing.AllocsPerRun(100, func() {
+		vals = w.ValuesInto(now, vals)
+		pcts = PercentilesInto(pcts[:0], vals, qs...)
+	})
+	if avg != 0 {
+		t.Fatalf("window percentile path allocates %.1f per call, want 0", avg)
+	}
+	if len(pcts) != 2 {
+		t.Fatalf("lost results: %v", pcts)
+	}
+}
+
+// TestAllocsConvolveInto: Monte-Carlo convolution through a reused sum
+// scratch is allocation-free.
+func TestAllocsConvolveInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	src := [][]float64{{0.01, 0.02, 0.03}, {0.05, 0.04}, {0.002}}
+	var scratch []float64
+	_, scratch = ConvolveQuantileInto(scratch, src, 0.9, 2000, rng)
+
+	avg := testing.AllocsPerRun(20, func() {
+		_, scratch = ConvolveQuantileInto(scratch, src, 0.9, 2000, rng)
+	})
+	if avg != 0 {
+		t.Fatalf("ConvolveQuantileInto allocates %.1f per call, want 0", avg)
+	}
+}

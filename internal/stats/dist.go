@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"slices"
 	"sort"
 )
 
@@ -20,6 +21,15 @@ func NewEmpirical(samples []float64) *Empirical {
 	return &Empirical{samples: cp}
 }
 
+// Reset reloads the distribution with a copy of samples, reusing the
+// internal buffer when it has capacity. The zero value of Empirical is
+// usable with Reset, so one long-lived Empirical can serve a loop of
+// percentile queries without per-iteration allocation.
+func (d *Empirical) Reset(samples []float64) {
+	d.samples = append(d.samples[:0], samples...)
+	d.sorted = false
+}
+
 // Add appends one sample.
 func (d *Empirical) Add(v float64) {
 	d.samples = append(d.samples, v)
@@ -31,7 +41,7 @@ func (d *Empirical) Len() int { return len(d.samples) }
 
 func (d *Empirical) ensureSorted() {
 	if !d.sorted {
-		sort.Float64s(d.samples)
+		slices.Sort(d.samples)
 		d.sorted = true
 	}
 }
@@ -179,45 +189,76 @@ func (r *Reservoir) Len() int { return len(r.buf) }
 // Seen returns how many values were offered in total.
 func (r *Reservoir) Seen() int { return r.seen }
 
-// Values returns the current sample set (not a copy; callers must not
-// mutate).
+// Values returns the live internal buffer, NOT a copy. The contract is
+// strictly read-only: callers must not sort, append to, or otherwise mutate
+// the returned slice (in particular, never pass it to PercentilesInto),
+// and must copy it before handing it to anything that outlives the next
+// Add. Percentiles and ConvolveQuantile/ConvolveSamples are safe consumers:
+// they copy or only read.
 func (r *Reservoir) Values() []float64 { return r.buf }
 
 // ConvolveQuantile estimates the q-quantile of the sum of independent draws,
 // one from each source distribution, by Monte-Carlo with m samples. This is
 // PARD's F^{-1}_{k+1→N}(λ) estimator for aggregated batch wait: each source
 // is a module's observed batch-wait sample set. Empty sources contribute 0.
+// The source slices are read-only; they are never reordered or written.
 func ConvolveQuantile(sources [][]float64, q float64, m int, rng *rand.Rand) float64 {
+	v, _ := ConvolveQuantileInto(nil, sources, q, m, rng)
+	return v
+}
+
+// ConvolveQuantileInto is ConvolveQuantile with a caller-supplied scratch
+// buffer for the Monte-Carlo sums: scratch is resized (reallocating only when
+// capacity is short), filled, and sorted in place. It returns the quantile
+// and the (possibly grown) scratch for reuse on the next call. The sequence
+// of RNG draws is identical to ConvolveQuantile's, so results are
+// byte-for-byte the same for the same rng state.
+func ConvolveQuantileInto(scratch []float64, sources [][]float64, q float64, m int, rng *rand.Rand) (float64, []float64) {
 	if m <= 0 || len(sources) == 0 {
-		return 0
+		return 0, scratch
 	}
-	sums := make([]float64, m)
-	for _, src := range sources {
-		if len(src) == 0 {
-			continue
-		}
-		for i := range sums {
-			sums[i] += src[rng.Intn(len(src))]
-		}
-	}
-	sort.Float64s(sums)
+	sums := convolveInto(scratch, sources, m, rng)
+	slices.Sort(sums)
 	if q <= 0 {
-		return sums[0]
+		return sums[0], sums
 	}
 	if q >= 1 {
-		return sums[m-1]
+		return sums[m-1], sums
 	}
 	idx := int(math.Ceil(q*float64(m))) - 1
 	if idx < 0 {
 		idx = 0
 	}
-	return sums[idx]
+	return sums[idx], sums
 }
 
 // ConvolveSamples draws m Monte-Carlo samples of the sum of one draw per
-// source; used to build full aggregated distributions (Fig. 6).
+// source; used to build full aggregated distributions (Fig. 6). The source
+// slices are read-only.
 func ConvolveSamples(sources [][]float64, m int, rng *rand.Rand) []float64 {
-	sums := make([]float64, m)
+	return convolveInto(nil, sources, m, rng)
+}
+
+// ConvolveSamplesInto is ConvolveSamples writing into a caller-supplied
+// scratch buffer (grown only when capacity is short). The returned slice
+// aliases scratch and is valid until the next call that reuses it.
+func ConvolveSamplesInto(scratch []float64, sources [][]float64, m int, rng *rand.Rand) []float64 {
+	return convolveInto(scratch, sources, m, rng)
+}
+
+func convolveInto(scratch []float64, sources [][]float64, m int, rng *rand.Rand) []float64 {
+	if m < 0 {
+		m = 0
+	}
+	var sums []float64
+	if cap(scratch) >= m {
+		sums = scratch[:m]
+	} else {
+		sums = make([]float64, m)
+	}
+	for i := range sums {
+		sums[i] = 0
+	}
 	for _, src := range sources {
 		if len(src) == 0 {
 			continue
@@ -256,6 +297,8 @@ func CoefficientOfVariation(xs []float64) float64 {
 }
 
 // Percentiles evaluates the given quantiles (each in [0,1]) over xs.
+// xs is read-only: this copies before sorting, so callers may pass live or
+// shared buffers (e.g. Reservoir.Values results, cached slices).
 func Percentiles(xs []float64, qs ...float64) []float64 {
 	d := NewEmpirical(xs)
 	out := make([]float64, len(qs))
@@ -263,4 +306,36 @@ func Percentiles(xs []float64, qs ...float64) []float64 {
 		out[i] = d.Quantile(q)
 	}
 	return out
+}
+
+// PercentilesInto evaluates the given quantiles over xs, SORTING xs IN
+// PLACE, and appends the results to dst (which may be nil). Use it on
+// buffers the caller owns outright — never on live Reservoir.Values slices
+// or cached result slices shared with other readers. Quantile semantics
+// match Percentiles (nearest rank, clamped, 0 when xs is empty).
+func PercentilesInto(dst []float64, xs []float64, qs ...float64) []float64 {
+	slices.Sort(xs)
+	for _, q := range qs {
+		dst = append(dst, QuantileSorted(xs, q))
+	}
+	return dst
+}
+
+// QuantileSorted returns the nearest-rank q-quantile of an ascending-sorted
+// slice, clamping q to [0,1]; it returns 0 when xs is empty.
+func QuantileSorted(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return xs[0]
+	}
+	if q >= 1 {
+		return xs[len(xs)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(xs)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return xs[idx]
 }

@@ -25,6 +25,31 @@ func TestSlidingWindowEviction(t *testing.T) {
 	}
 }
 
+func TestSlidingWindowExactSpanBoundary(t *testing.T) {
+	w := NewSlidingWindow(5 * time.Second)
+	w.Add(0, 1)             // exactly now-span at t=5s: survives (eviction is at < cut)
+	w.Add(time.Second, 2)   // inside
+	w.Add(5*time.Second, 3) // now
+	if got := w.Len(); got != 3 {
+		t.Fatalf("Len at exact boundary = %d, want 3", got)
+	}
+	if vs := w.Values(5 * time.Second); len(vs) != 3 || vs[0] != 1 {
+		t.Fatalf("boundary sample missing from Values: %v", vs)
+	}
+	// The boundary sample carries zero linear weight, so it survives eviction
+	// but contributes nothing to the weighted mean.
+	m, ok := w.Mean(5 * time.Second)
+	want := ((1-4.0/5.0)*2 + 1*3) / ((1 - 4.0/5.0) + 1)
+	if !ok || math.Abs(m-want) > 1e-9 {
+		t.Fatalf("weighted mean = %v, want %v", m, want)
+	}
+	// One nanosecond past the span, the boundary sample is evicted.
+	w.Advance(5*time.Second + time.Nanosecond)
+	if got := w.Len(); got != 2 {
+		t.Fatalf("Len one tick past boundary = %d, want 2", got)
+	}
+}
+
 func TestSlidingWindowLinearWeighting(t *testing.T) {
 	w := NewSlidingWindow(10 * time.Second)
 	w.Add(0, 100)             // age 10s at t=10 → weight 0

@@ -130,6 +130,18 @@ func (w *SlidingWindow) Values(now time.Duration) []float64 {
 	return out
 }
 
+// ValuesInto appends the live sample values (oldest first) to buf[:0] and
+// returns it, reusing buf's capacity when sufficient. The returned slice is
+// owned by the caller; the window keeps no reference to it.
+func (w *SlidingWindow) ValuesInto(now time.Duration, buf []float64) []float64 {
+	w.evict(now)
+	buf = buf[:0]
+	for i := w.head; i < len(w.samples); i++ {
+		buf = append(buf, w.samples[i].v)
+	}
+	return buf
+}
+
 // RateWindow counts events inside a horizon and reports their arrival rate.
 // PARD uses it for the module input workload T_in.
 type RateWindow struct {

@@ -31,6 +31,11 @@ func init() {
 	gob.Register(&trace.Trace{})
 }
 
+// encBufs pools the gob staging buffers for store: a warm grid writes one
+// multi-megabyte entry per point, and without pooling each write retires a
+// full-entry []byte to the garbage collector.
+var encBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 // diskEntry is one persisted cache artifact. Scope and Key are stored in
 // full and verified on load, so a filename-hash collision can never serve
 // the wrong result.
@@ -146,8 +151,10 @@ func (d *diskCache) quarantine(path string, seen os.FileInfo, reason string) {
 // crash at any point leaves either the old entry, no entry, or the complete
 // new entry — never truncated bytes under a valid name.
 func (d *diskCache) store(key string, val any) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(diskEntry{Scope: d.scope, Key: key, Val: val}); err != nil {
+	buf := encBufs.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer encBufs.Put(buf)
+	if err := gob.NewEncoder(buf).Encode(diskEntry{Scope: d.scope, Key: key, Val: val}); err != nil {
 		return
 	}
 	tmp, err := os.CreateTemp(d.dir, "entry-*.tmp")

@@ -1,0 +1,42 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// These tests pin the trace-generation hot path: regenerating and analyzing
+// traces in a loop with reused buffers allocates nothing in steady state.
+
+// TestAllocsThinningInto: thinning into a pre-sized buffer is allocation-free.
+func TestAllocsThinningInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	rate := func(time.Duration) float64 { return 50 }
+	dur := 10 * time.Second
+	buf := make([]time.Duration, 0, 2*expectedArrivals(60, dur))
+
+	avg := testing.AllocsPerRun(50, func() {
+		buf = ThinningInto(buf, rate, 60, dur, rng)
+	})
+	if avg != 0 {
+		t.Fatalf("ThinningInto allocates %.1f per trace, want 0", avg)
+	}
+}
+
+// TestAllocsAnalyzeInto: analyzing a trace through a reused per-second
+// scratch is allocation-free.
+func TestAllocsAnalyzeInto(t *testing.T) {
+	tr := MustGenerate(Config{Kind: Tweet, Duration: 60 * time.Second, Seed: 6})
+	buf := make([]float64, 0, 64)
+	st := tr.AnalyzeInto(buf)
+	buf = st.PerSecond
+
+	avg := testing.AllocsPerRun(50, func() {
+		st := tr.AnalyzeInto(buf)
+		buf = st.PerSecond
+	})
+	if avg != 0 {
+		t.Fatalf("AnalyzeInto allocates %.1f per analysis, want 0", avg)
+	}
+}

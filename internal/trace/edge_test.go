@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// These tests pin Analyze/burstCV edge cases and the ThinningInto/AnalyzeInto
+// buffer-reuse contracts added alongside the allocation-lean sweep path.
+
+func TestAnalyzeSubSecondDuration(t *testing.T) {
+	tr := &Trace{
+		Name:     "sub",
+		Arrivals: []time.Duration{100 * time.Millisecond, 400 * time.Millisecond},
+		Duration: 500 * time.Millisecond,
+	}
+	st := tr.Analyze()
+	if st.Seconds != 1 {
+		t.Fatalf("sub-second trace binned into %d seconds, want 1 (ceil)", st.Seconds)
+	}
+	if len(st.PerSecond) != 1 || st.PerSecond[0] != 2 {
+		t.Fatalf("per-second = %v, want [2]", st.PerSecond)
+	}
+	if st.MeanRate != 2 || st.PeakRate != 2 {
+		t.Fatalf("mean %v peak %v, want 2 2", st.MeanRate, st.PeakRate)
+	}
+	// A single bin has zero variance, so both CV measures are zero.
+	if st.CV != 0 || st.BurstCV != 0 {
+		t.Fatalf("single-bin CV=%v BurstCV=%v, want 0 0", st.CV, st.BurstCV)
+	}
+}
+
+func TestBurstCVWidthExceedsLength(t *testing.T) {
+	counts := []float64{1, 5, 2, 8, 4}
+	// With width larger than the series, every centered window spans the whole
+	// series, so the detrend subtracts the global mean and burstCV degenerates
+	// to the plain CV.
+	var mean float64
+	for _, c := range counts {
+		mean += c
+	}
+	mean /= float64(len(counts))
+	var ss float64
+	for _, c := range counts {
+		ss += (c - mean) * (c - mean)
+	}
+	wantCV := math.Sqrt(ss/float64(len(counts))) / mean
+	if got := burstCV(counts, 30); math.Abs(got-wantCV) > 1e-12 {
+		t.Fatalf("burstCV(width>len) = %v, want plain CV %v", got, wantCV)
+	}
+	if got := burstCV(nil, 30); got != 0 {
+		t.Fatalf("burstCV(nil) = %v, want 0", got)
+	}
+	if got := burstCV([]float64{0, 0, 0}, 30); got != 0 {
+		t.Fatalf("burstCV(zero mean) = %v, want 0", got)
+	}
+}
+
+func TestThinningIntoMatchesThinning(t *testing.T) {
+	rate := func(t time.Duration) float64 { return 40 + 20*math.Sin(t.Seconds()) }
+	a := rand.New(rand.NewSource(17))
+	b := rand.New(rand.NewSource(17))
+	want := Thinning(rate, 60, 30*time.Second, a)
+	buf := make([]time.Duration, 3, 4096)
+	got := ThinningInto(buf, rate, 60, 30*time.Second, b)
+	if len(got) != len(want) {
+		t.Fatalf("lengths differ: %d vs %d (RNG draw order must match)", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("arrival %d differs: %v vs %v", i, got[i], want[i])
+		}
+	}
+	if len(got) > 0 && len(got) <= cap(buf) && &got[0] != &buf[:1][0] {
+		t.Fatal("ThinningInto did not reuse the provided buffer")
+	}
+	// Degenerate inputs return nil exactly like Thinning.
+	if got := ThinningInto(buf, rate, 0, time.Second, b); got != nil {
+		t.Fatal("maxRate=0 should yield nil")
+	}
+	if got := ThinningInto(buf, rate, 1, 0, b); got != nil {
+		t.Fatal("duration=0 should yield nil")
+	}
+}
+
+func TestAnalyzeIntoReusesScratch(t *testing.T) {
+	tr := MustGenerate(Config{Kind: Steady, Duration: 20 * time.Second, PeakRate: 50, Seed: 4})
+	want := tr.Analyze()
+	buf := make([]float64, 5, 64)
+	buf[0] = 1e9 // stale garbage must be zeroed, not accumulated
+	st := tr.AnalyzeInto(buf)
+	if st.Seconds != want.Seconds || st.MeanRate != want.MeanRate ||
+		st.PeakRate != want.PeakRate || st.CV != want.CV || st.BurstCV != want.BurstCV {
+		t.Fatalf("AnalyzeInto %+v != Analyze %+v", st, want)
+	}
+	for i := range st.PerSecond {
+		if st.PerSecond[i] != want.PerSecond[i] {
+			t.Fatalf("per-second bin %d differs: %v vs %v", i, st.PerSecond[i], want.PerSecond[i])
+		}
+	}
+	if &st.PerSecond[0] != &buf[:1][0] {
+		t.Fatal("AnalyzeInto did not reuse the provided scratch")
+	}
+	// Short capacity falls back to a fresh allocation, never a slice panic.
+	st2 := tr.AnalyzeInto(make([]float64, 0, 2))
+	if st2.Seconds != want.Seconds || st2.PerSecond[0] != want.PerSecond[0] {
+		t.Fatalf("short-capacity AnalyzeInto diverged: %+v", st2)
+	}
+}

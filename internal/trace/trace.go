@@ -15,6 +15,7 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
@@ -220,12 +221,27 @@ func MustGenerate(c Config) *Trace {
 }
 
 // Thinning samples a non-homogeneous Poisson process with intensity rate(t)
-// bounded by maxRate over [0, duration) using Lewis-Shedler thinning.
+// bounded by maxRate over [0, duration) using Lewis-Shedler thinning. The
+// arrival buffer is sized up front for the expected candidate count, so a
+// long trace is one allocation rather than an append growth chain.
 func Thinning(rate RateFunc, maxRate float64, duration time.Duration, rng *rand.Rand) []time.Duration {
 	if maxRate <= 0 || duration <= 0 {
 		return nil
 	}
-	var out []time.Duration
+	return ThinningInto(make([]time.Duration, 0, expectedArrivals(maxRate, duration)),
+		rate, maxRate, duration, rng)
+}
+
+// ThinningInto is Thinning appending into buf[:0], reusing its capacity —
+// for callers regenerating traces in a loop. It returns nil (matching
+// Thinning) when maxRate or duration is non-positive; the RNG draw sequence
+// is identical to Thinning's, so generated traces are byte-for-byte the same
+// for the same rng state.
+func ThinningInto(buf []time.Duration, rate RateFunc, maxRate float64, duration time.Duration, rng *rand.Rand) []time.Duration {
+	if maxRate <= 0 || duration <= 0 {
+		return nil
+	}
+	out := buf[:0]
 	t := 0.0
 	end := duration.Seconds()
 	for {
@@ -240,6 +256,17 @@ func Thinning(rate RateFunc, maxRate float64, duration time.Duration, rng *rand.
 	}
 }
 
+// expectedArrivals bounds the thinning candidate count (maxRate·duration,
+// clamped to keep a pathological config from pre-reserving gigabytes).
+func expectedArrivals(maxRate float64, duration time.Duration) int {
+	n := maxRate * duration.Seconds()
+	const limit = 16 << 20
+	if n < 0 || n > limit {
+		return limit
+	}
+	return int(n)
+}
+
 // Stats summarizes a trace: per-second arrival counts, their mean and CV.
 type Stats struct {
 	Seconds   int
@@ -252,11 +279,27 @@ type Stats struct {
 
 // Analyze bins arrivals per second and computes summary statistics.
 func (tr *Trace) Analyze() Stats {
+	return tr.AnalyzeInto(nil)
+}
+
+// AnalyzeInto is Analyze using buf as the per-second count scratch (grown
+// only when capacity is short) — for callers analyzing traces in a loop.
+// Stats.PerSecond aliases the scratch, so it is only valid until the next
+// AnalyzeInto call reusing the same buffer.
+func (tr *Trace) AnalyzeInto(buf []float64) Stats {
 	secs := int(math.Ceil(tr.Duration.Seconds()))
 	if secs <= 0 {
 		return Stats{}
 	}
-	counts := make([]float64, secs)
+	var counts []float64
+	if cap(buf) >= secs {
+		counts = buf[:secs]
+		for i := range counts {
+			counts[i] = 0
+		}
+	} else {
+		counts = make([]float64, secs)
+	}
 	for _, a := range tr.Arrivals {
 		i := int(a.Seconds())
 		if i >= secs {
@@ -379,7 +422,7 @@ func ReadCSV(name string, r io.Reader) (*Trace, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	sort.Slice(arrivals, func(i, j int) bool { return arrivals[i] < arrivals[j] })
+	slices.Sort(arrivals)
 	dur := time.Duration(0)
 	if n := len(arrivals); n > 0 {
 		dur = arrivals[n-1] + time.Second
