@@ -18,6 +18,9 @@ import (
 	"pard/internal/depq"
 	"pard/internal/pipeline"
 	"pard/internal/policy"
+	"pard/internal/profile"
+	"pard/internal/sched"
+	"pard/internal/server"
 
 	"math/rand"
 )
@@ -320,6 +323,72 @@ func BenchmarkSweepGrid(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(specs)), "grid-points")
+}
+
+// BenchmarkServerSubmit measures the live server's request lifecycle on the
+// data-plane hot path: submit (atomic ID, slab-allocated request, pooled
+// channel, outstanding-list registration), core traversal of a 3-module
+// chain, and response delivery. The executor is a deterministic manual
+// clock, so no wall-time sleeping pollutes ns/op: requests are submitted in
+// batches and the virtual clock stepped until every response resolves.
+// Gated in the BENCH_<n>.json trajectory alongside the engine benchmarks —
+// this is the path pard-load hammers over HTTP.
+func BenchmarkServerSubmit(b *testing.B) {
+	lib := profile.NewLibrary()
+	if err := lib.Add(profile.Model{
+		Name:     "fast",
+		Alpha:    200 * time.Microsecond,
+		Beta:     100 * time.Microsecond,
+		MaxBatch: 8,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	const slo = 150 * time.Millisecond
+	man := sched.NewManualExecutor()
+	s, err := server.New(server.Config{
+		Spec:       pipeline.Uniform("bench", 3, "fast", slo),
+		Lib:        lib,
+		PolicyName: "pard",
+		SyncPeriod: 50 * time.Millisecond,
+		Seed:       1,
+		Exec:       man,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Start()
+	const batch = 512
+	chans := make([]<-chan server.Response, batch)
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		n := batch
+		if left := b.N - done; left < n {
+			n = left
+		}
+		for j := 0; j < n; j++ {
+			chans[j] = s.Submit()
+		}
+		// Step virtual time until the whole batch resolved (complete or
+		// dropped); the core guarantees every injected request terminates.
+		next := 0
+		for guard := 0; next < n; guard++ {
+			man.RunUntil(man.Now() + slo)
+			for ; next < n; next++ {
+				select {
+				case <-chans[next]:
+				default:
+					goto stepped
+				}
+			}
+		stepped:
+			if guard > 1000 {
+				b.Fatalf("batch stalled: %d/%d resolved", next, n)
+			}
+		}
+		done += n
+	}
+	b.StopTimer()
+	s.Stop()
 }
 
 // Micro-benchmarks for the §5.4 overhead analysis.

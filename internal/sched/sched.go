@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math/rand"
+	"sync"
 	"time"
 
 	"pard/internal/core"
@@ -109,6 +110,11 @@ type Cluster struct {
 	// and barrier commits), where terminations apply immediately even in
 	// lane mode. Only ever flipped while every lane is parked.
 	inControl bool
+
+	// classicEvents recycles event carriers on the classic-executor path
+	// (see classicEvent). Per-cluster so pooled carriers never cross runs;
+	// safe for the live server's concurrent injectors.
+	classicEvents sync.Pool
 }
 
 // streamSeed derives module k's independent seed for one random stream from
@@ -169,6 +175,15 @@ func New(cfg Config, exec Executor) (*Cluster, error) {
 		jitter:  cfg.JitterPct,
 		batches: batches,
 		durs:    durs,
+	}
+	c.classicEvents.New = func() any {
+		ce := &classicEvent{}
+		ce.fire = func(now time.Duration) {
+			ce.ev.fire(now)
+			ce.ev = laneEvent{} // don't pin requests/workers while pooled
+			c.classicEvents.Put(ce)
+		}
+		return ce
 	}
 	for k := 0; k < n; k++ {
 		c.pathRngs = append(c.pathRngs, rand.New(rand.NewSource(streamSeed(cfg.Seed, k, "path"))))
@@ -290,15 +305,28 @@ func (c *Cluster) scheduleEvent(src, dst int, at time.Duration, ev laneEvent) {
 	c.scheduleClassic(at, ev)
 }
 
-// scheduleClassic wraps the event for a plain global-queue executor. Kept out
-// of scheduleEvent — and out of its inliner's reach — so the ev.fire method
-// value, which forces its receiver to the heap at function entry, is only
-// materialized on the classic path; on the lane path ev stays
-// stack-allocated through scheduleEvent.
+// classicEvent carries one scheduled event across a plain global-queue
+// executor (the classic simulator engine and the live server's wall clock).
+// Carriers are pooled and their callback func bound once at construction,
+// so steady-state classic scheduling allocates nothing per event —
+// previously every schedule heap-escaped a fresh copy of the event through
+// an ev.fire method value, which was the live data plane's dominant
+// allocation under load.
+type classicEvent struct {
+	ev   laneEvent
+	fire func(now time.Duration)
+}
+
+// scheduleClassic hands the event to a plain global-queue executor inside a
+// pooled carrier. Kept out of scheduleEvent — and out of its inliner's
+// reach — so the carrier machinery only exists on the classic path; on the
+// lane path ev stays stack-allocated through scheduleEvent.
 //
 //go:noinline
 func (c *Cluster) scheduleClassic(at time.Duration, ev laneEvent) {
-	c.exec.Schedule(at, ev.name, ev.fire)
+	ce := c.classicEvents.Get().(*classicEvent)
+	ce.ev = ev
+	c.exec.Schedule(at, ev.name, ce.fire)
 }
 
 // control brackets a serial control-context callback (sync, scaling,

@@ -13,10 +13,12 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pard/internal/metrics"
@@ -53,7 +55,9 @@ type Config struct {
 	Probes sched.ProbeConfig
 	// Exec overrides the executor driving the core. Nil selects wall-clock
 	// timers; tests inject a deterministic executor (sched.ManualExecutor)
-	// to replay workloads reproducibly.
+	// to replay workloads reproducibly. Concurrent Submit calls require a
+	// concurrency-safe executor (the wall-clock default is; ManualExecutor
+	// must be driven from one goroutine).
 	Exec sched.Executor
 }
 
@@ -72,9 +76,37 @@ type Response struct {
 	ID        uint64  `json:"id"`
 	Outcome   Outcome `json:"outcome"`
 	LatencyMS float64 `json:"latency_ms"`
-	// DropModule is set when Outcome is "dropped".
+	// DropModule is set when Outcome is "dropped": the module whose policy
+	// dropped the request, or -1 when the server resolved it at shutdown
+	// rather than by a policy decision.
 	DropModule int `json:"drop_module,omitempty"`
 }
+
+// pendingReq is one in-flight request: the core's Request, the client's
+// response channel, and the intrusive links of the outstanding list. The
+// structs come from a chunked slab (one allocation per slabChunk submits,
+// mirroring the simulator's inject slab) and are never reused: a dropped
+// DAG request can be referenced by stale branch entries inside the core
+// until their queues next drain, so recycling the struct would alias two
+// generations of requests.
+type pendingReq struct {
+	req  sched.Request
+	done chan Response
+	// prev/next link the outstanding list (guarded by Server.pmu); linked
+	// is the membership latch that makes resolution exactly-once.
+	prev, next *pendingReq
+	linked     bool
+}
+
+// slabChunk is the pendingReq slab allocation granularity.
+const slabChunk = 256
+
+// respChans recycles per-request response channels. Only the /infer handler
+// returns channels to the pool — after consuming the single buffered
+// response, when no further send can happen. Channels handed to external
+// Submit callers, or abandoned on the client-disconnect path, are never
+// reused (a late resolution may still land in their buffer).
+var respChans = sync.Pool{New: func() any { return make(chan Response, 1) }}
 
 // Server hosts one pipeline on the shared scheduling core.
 type Server struct {
@@ -83,11 +115,25 @@ type Server struct {
 	wall *sched.TimerExecutor // owned executor, nil when injected
 	cl   *sched.Cluster
 
-	mu      sync.Mutex
-	col     *metrics.Collector
-	nextID  uint64
-	started bool
-	stopped bool
+	// nextID allocates request IDs off the submit lock: IDs are issued in
+	// submit order without serializing submitters on a mutex.
+	nextID atomic.Uint64
+
+	// pmu guards the request-lifecycle state below. It is held only for
+	// pointer-sized work (slab bump, list link/unlink, stop latch) — never
+	// across Inject, timer arming, or metrics recording — so concurrent
+	// submitters queue behind nanoseconds, not the whole enqueue path.
+	pmu      sync.Mutex
+	started  bool
+	stopped  bool
+	pending  *pendingReq // head of the outstanding-request list
+	slab     []pendingReq
+	slabNext int
+
+	// cmu guards the metrics collector (finish callbacks run on the
+	// executor; Stop's shutdown drain runs on the caller's goroutine).
+	cmu sync.Mutex
+	col *metrics.Collector
 }
 
 // New validates the config and builds (but does not start) a server for any
@@ -159,13 +205,13 @@ func New(cfg Config) (*Server, error) {
 // Start launches the periodic state-synchronization (and, when enabled,
 // scaling) loops on the executor.
 func (s *Server) Start() {
-	s.mu.Lock()
+	s.pmu.Lock()
 	if s.started || s.stopped {
-		s.mu.Unlock()
+		s.pmu.Unlock()
 		return
 	}
 	s.started = true
-	s.mu.Unlock()
+	s.pmu.Unlock()
 
 	s.every(s.cfg.SyncPeriod, "sync", s.cl.SyncTick)
 	if s.cfg.Scaling.Enabled {
@@ -187,54 +233,122 @@ func (s *Server) every(period time.Duration, name string, fn func(now time.Durat
 }
 
 func (s *Server) isStopped() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
 	return s.stopped
 }
 
-// Stop cancels all pending timers and waits for in-flight callbacks.
-// Requests still queued inside the core receive no response (the HTTP
-// handler's stall timeout covers abandoned clients).
+// Stop cancels all pending timers, waits for in-flight callbacks, then
+// resolves every request still outstanding inside the core as dropped
+// (DropModule -1): no client is left hanging on a response channel the core
+// will never fill. With an injected executor the drain happens immediately;
+// callbacks the injected executor fires afterwards find their requests
+// already resolved and do nothing.
 func (s *Server) Stop() {
-	s.mu.Lock()
+	s.pmu.Lock()
 	if s.stopped {
-		s.mu.Unlock()
+		s.pmu.Unlock()
 		return
 	}
 	s.stopped = true
-	s.mu.Unlock()
+	s.pmu.Unlock()
 	if s.wall != nil {
 		s.wall.Stop()
+	}
+	// After wall.Stop no finish callback can be running: detach the whole
+	// outstanding list and resolve it. (unregister and this detach both
+	// clear linked under pmu, so resolution stays exactly-once even when an
+	// injected executor replays a late completion.)
+	s.pmu.Lock()
+	head := s.pending
+	for pr := head; pr != nil; pr = pr.next {
+		pr.linked = false
+	}
+	s.pending = nil
+	s.pmu.Unlock()
+	now := s.exec.Now()
+	for pr := head; pr != nil; pr = pr.next {
+		s.resolve(pr, Response{ID: pr.req.ID, Outcome: OutcomeDropped, DropModule: -1}, now, -1)
 	}
 }
 
 // Submit enqueues one request and returns a channel delivering its outcome.
 // After Stop the channel resolves immediately as dropped.
 func (s *Server) Submit() <-chan Response {
-	done := make(chan Response, 1)
+	return s.submit().done
+}
+
+// submit is the data-plane hot path: allocate an ID (atomic), a pendingReq
+// (slab bump) and a response channel (pool), register the request on the
+// outstanding list, and inject the arrival. The lock covers only the slab
+// and list pointers; a submit racing Stop either resolves here (stop latch
+// observed), resolves in Stop's drain (registered before the latch), or
+// resolves through the core — exactly once in every interleaving, because
+// the arrival timer armed after the executor stopped never fires.
+func (s *Server) submit() *pendingReq {
 	now := s.exec.Now()
-	// Hold the lock across Inject so Stop cannot interleave between the
-	// stopped check and arming the arrival: a submit either resolves
-	// immediately (stopped) or is injected before Stop begins. Inject only
-	// arms a callback — core work happens on the executor, never here.
-	s.mu.Lock()
+	id := s.nextID.Add(1) - 1
+	done := respChans.Get().(chan Response)
+	s.pmu.Lock()
 	if s.stopped {
-		s.mu.Unlock()
-		done <- Response{Outcome: OutcomeDropped}
-		return done
+		s.pmu.Unlock()
+		pr := &pendingReq{done: done}
+		pr.req.ID = id
+		done <- Response{ID: id, Outcome: OutcomeDropped, DropModule: -1}
+		return pr
 	}
-	id := s.nextID
-	s.nextID++
-	req := &sched.Request{
+	pr := s.allocLocked()
+	pr.req = sched.Request{
 		ID:         id,
 		Send:       now,
 		Deadline:   now + s.cfg.Spec.SLO,
 		DropModule: -1,
-		Payload:    done,
+		Payload:    pr,
 	}
-	s.cl.Inject(req, now)
-	s.mu.Unlock()
-	return done
+	pr.done = done
+	pr.linked = true
+	pr.prev = nil
+	pr.next = s.pending
+	if s.pending != nil {
+		s.pending.prev = pr
+	}
+	s.pending = pr
+	s.pmu.Unlock()
+	s.cl.Inject(&pr.req, now)
+	return pr
+}
+
+// allocLocked hands out the next pendingReq from the slab, growing it a
+// chunk at a time — one allocation per slabChunk requests instead of one
+// per request. Callers hold pmu.
+func (s *Server) allocLocked() *pendingReq {
+	if s.slabNext == len(s.slab) {
+		s.slab = make([]pendingReq, slabChunk)
+		s.slabNext = 0
+	}
+	pr := &s.slab[s.slabNext]
+	s.slabNext++
+	return pr
+}
+
+// unregister removes pr from the outstanding list, returning false when it
+// was already resolved (by a finish callback or Stop's drain).
+func (s *Server) unregister(pr *pendingReq) bool {
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	if !pr.linked {
+		return false
+	}
+	pr.linked = false
+	if pr.prev != nil {
+		pr.prev.next = pr.next
+	} else {
+		s.pending = pr.next
+	}
+	if pr.next != nil {
+		pr.next.prev = pr.prev
+	}
+	return true
 }
 
 // onDone resolves a request that completed the sink module.
@@ -251,10 +365,22 @@ func (s *Server) onDrop(req *sched.Request, k int, now time.Duration) {
 	s.finish(req, Response{ID: req.ID, Outcome: OutcomeDropped, DropModule: k}, now, k)
 }
 
-// finish records a terminal outcome and delivers the client response.
+// finish records a terminal outcome decided by the core and delivers the
+// client response, unless Stop's drain already resolved the request.
 func (s *Server) finish(req *sched.Request, resp Response, now time.Duration, dropModule int) {
-	resp.LatencyMS = float64((now - req.Send).Microseconds()) / 1000
-	rec := metrics.Record{Send: req.Send, Done: now, GPUTime: req.GPU, DropModule: -1}
+	pr := req.Payload.(*pendingReq)
+	if !s.unregister(pr) {
+		return
+	}
+	s.resolve(pr, resp, now, dropModule)
+}
+
+// resolve records a terminal outcome and delivers the client response. The
+// caller must have unregistered pr (exactly-once contract); the buffered
+// send therefore never blocks.
+func (s *Server) resolve(pr *pendingReq, resp Response, now time.Duration, dropModule int) {
+	resp.LatencyMS = float64((now - pr.req.Send).Microseconds()) / 1000
+	rec := metrics.Record{Send: pr.req.Send, Done: now, GPUTime: pr.req.GPU, DropModule: -1}
 	switch resp.Outcome {
 	case OutcomeGood:
 		rec.Outcome = metrics.Good
@@ -264,17 +390,35 @@ func (s *Server) finish(req *sched.Request, resp Response, now time.Duration, dr
 		rec.Outcome = metrics.DroppedOutcome
 		rec.DropModule = dropModule
 	}
-	s.mu.Lock()
+	s.cmu.Lock()
 	s.col.Add(rec)
-	s.mu.Unlock()
-	req.Payload.(chan Response) <- resp
+	s.cmu.Unlock()
+	pr.done <- resp
 }
 
 // Summary returns the live metrics snapshot.
 func (s *Server) Summary() metrics.Summary {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.cmu.Lock()
+	defer s.cmu.Unlock()
 	return s.col.Summary()
+}
+
+// bufPool recycles the encode-before-write staging buffers.
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// writeJSON encodes v into a staging buffer first, so an encoding failure
+// produces a clean 500 instead of an error message appended to a partial
+// body with a misleading 200 status.
+func writeJSON(w http.ResponseWriter, v any) {
+	buf := bufPool.Get().(*bytes.Buffer)
+	defer bufPool.Put(buf)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(buf.Bytes())
 }
 
 // Handler returns the HTTP data plane:
@@ -289,23 +433,37 @@ func (s *Server) Handler() http.Handler {
 			http.Error(w, "POST only", http.StatusMethodNotAllowed)
 			return
 		}
+		pr := s.submit()
+		// A stoppable timer, not time.After: the common (resolved) case
+		// must not leak a live 10×SLO timer per request until it fires.
+		stall := time.NewTimer(10 * s.cfg.Spec.SLO)
+		defer stall.Stop()
 		select {
-		case resp := <-s.Submit():
-			w.Header().Set("Content-Type", "application/json")
-			if err := json.NewEncoder(w).Encode(resp); err != nil {
-				http.Error(w, err.Error(), http.StatusInternalServerError)
-			}
-		case <-time.After(10 * s.cfg.Spec.SLO):
+		case resp := <-pr.done:
+			respChans.Put(pr.done)
+			writeJSON(w, resp)
+		case <-r.Context().Done():
+			// Client disconnected: stop waiting. The request keeps
+			// draining through the core (its outcome still lands in the
+			// metrics), but the channel cannot be reused — a late
+			// resolution may still land in its buffer.
+			return
+		case <-stall.C:
 			http.Error(w, "pipeline stalled", http.StatusGatewayTimeout)
 		}
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		if err := json.NewEncoder(w).Encode(s.Summary()); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
 		}
+		writeJSON(w, s.Summary())
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
 		fmt.Fprintln(w, "ok")
 	})
 	return mux

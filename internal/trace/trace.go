@@ -220,6 +220,26 @@ func MustGenerate(c Config) *Trace {
 	return tr
 }
 
+// Fixed returns a deterministic constant-gap arrival sequence: exactly one
+// arrival every 1/rate seconds over [0, duration). Contrast Steady, which
+// is Poisson with constant intensity — Fixed has zero arrival-time variance
+// and is the classic open-loop load-generator schedule (CV = 0 baselines,
+// capacity probes). It returns nil when rate or duration is non-positive.
+func Fixed(rate float64, duration time.Duration) *Trace {
+	if rate <= 0 || duration <= 0 {
+		return nil
+	}
+	gap := time.Duration(float64(time.Second) / rate)
+	if gap <= 0 {
+		gap = time.Nanosecond
+	}
+	arrivals := make([]time.Duration, 0, expectedArrivals(rate, duration))
+	for at := time.Duration(0); at < duration; at += gap {
+		arrivals = append(arrivals, at)
+	}
+	return &Trace{Name: "fixed", Arrivals: arrivals, Duration: duration}
+}
+
 // Thinning samples a non-homogeneous Poisson process with intensity rate(t)
 // bounded by maxRate over [0, duration) using Lewis-Shedler thinning. The
 // arrival buffer is sized up front for the expected candidate count, so a

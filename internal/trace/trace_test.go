@@ -265,6 +265,28 @@ func TestPropertyRateBounded(t *testing.T) {
 	}
 }
 
+func TestFixed(t *testing.T) {
+	tr := Fixed(100, 2*time.Second)
+	if tr.Len() != 200 {
+		t.Fatalf("Fixed(100/s, 2s) has %d arrivals, want 200", tr.Len())
+	}
+	gap := 10 * time.Millisecond
+	for i, a := range tr.Arrivals {
+		if a != time.Duration(i)*gap {
+			t.Fatalf("arrival %d at %v, want %v", i, a, time.Duration(i)*gap)
+		}
+	}
+	if got := tr.MeanRate(); got != 100 {
+		t.Fatalf("mean rate %v, want 100", got)
+	}
+	if st := tr.Analyze(); st.CV != 0 {
+		t.Fatalf("fixed-rate CV = %v, want 0", st.CV)
+	}
+	if Fixed(0, time.Second) != nil || Fixed(100, 0) != nil {
+		t.Fatal("degenerate Fixed configs must return nil")
+	}
+}
+
 func BenchmarkGenerateTweet(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		MustGenerate(Config{Kind: Tweet, Duration: 1400 * time.Second, Seed: int64(i)})

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"pard/internal/experiments"
+	"pard/internal/load"
 	"pard/internal/metrics"
 	"pard/internal/pipeline"
 	"pard/internal/policy"
@@ -127,6 +128,10 @@ func NewTrace(c TraceConfig) (*Trace, error) { return trace.Generate(c) }
 // ReadTraceCSV replays a real trace from newline-separated arrival offsets
 // in seconds.
 func ReadTraceCSV(name string, r io.Reader) (*Trace, error) { return trace.ReadCSV(name, r) }
+
+// FixedTrace returns a deterministic constant-rate trace: exactly
+// rate·duration arrivals at uniform gaps (load testing and calibration).
+func FixedTrace(rate float64, duration time.Duration) *Trace { return trace.Fixed(rate, duration) }
 
 // Policies and simulation.
 type (
@@ -243,6 +248,34 @@ type (
 // NewServer builds (but does not start) a live pipeline server for any
 // validated pipeline spec.
 func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
+
+// Load generation (wall-clock HTTP load against a live server, with a
+// matched-load simulator twin).
+type (
+	// LoadConfig describes one load-generation run against POST /infer.
+	LoadConfig = load.Config
+	// LoadReport is the aggregate outcome (goodput, outcome split, HDR-style
+	// latency quantiles, optional sim comparison).
+	LoadReport = load.Report
+	// LoadThinkTime is the closed-loop pause between reply and next request.
+	LoadThinkTime = load.ThinkTime
+	// LoadSimSpec describes the simulator twin of the live deployment for
+	// LoadReport.CompareSim.
+	LoadSimSpec = load.SimSpec
+)
+
+// Load-generation modes.
+const (
+	// LoadModeOpen replays a trace's arrival schedule regardless of
+	// completions (the paper's workload model).
+	LoadModeOpen = load.ModeOpen
+	// LoadModeClosed runs workers that wait for each reply plus a think time.
+	LoadModeClosed = load.ModeClosed
+)
+
+// RunLoad executes one load-generation run, blocking until every request
+// resolves.
+func RunLoad(cfg LoadConfig) (*LoadReport, error) { return load.Run(cfg) }
 
 // RAG case study (§7).
 type (
