@@ -29,24 +29,35 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 2, "workers per module")
 	seed := flag.Int64("seed", 1, "random seed")
+	admission := flag.Bool("admission", false, "enable estimator-driven admission control (429 + Retry-After at predicted SLO misses)")
+	admInFlight := flag.Int("admission-inflight", 0, "admission gate in-flight bound (0 = unbounded; needs -admission)")
+	admSLOFactor := flag.Float64("admission-slo-factor", 1.0, "admission threshold as a fraction of the SLO (needs -admission)")
 	flag.Parse()
 
-	srv, spec, err := newServer(*app, *policyName, *workers, *seed)
+	srv, spec, err := newServer(*app, *policyName, *workers, *seed, pard.AdmissionConfig{
+		Enabled:     *admission,
+		MaxInFlight: *admInFlight,
+		SLOFactor:   *admSLOFactor,
+	})
 	if err != nil {
 		fatal(err)
 	}
 	srv.Start()
 	defer srv.Stop()
 
-	fmt.Printf("pard-server: serving %s (%d modules, SLO %v) with policy %s on %s\n",
-		*app, spec.N(), spec.SLO, *policyName, *addr)
+	gate := "off"
+	if *admission {
+		gate = "on"
+	}
+	fmt.Printf("pard-server: serving %s (%d modules, SLO %v) with policy %s on %s (admission %s)\n",
+		*app, spec.N(), spec.SLO, *policyName, *addr, gate)
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
 		fatal(err)
 	}
 }
 
 // newServer builds (but does not start) the live server for an app name.
-func newServer(app, policyName string, workers int, seed int64) (*pard.Server, *pard.Pipeline, error) {
+func newServer(app, policyName string, workers int, seed int64, adm pard.AdmissionConfig) (*pard.Server, *pard.Pipeline, error) {
 	spec, ok := pard.Apps()[app]
 	if !ok {
 		return nil, nil, fmt.Errorf("unknown app %q (have %s)", app, strings.Join(appNames(), ", "))
@@ -61,6 +72,7 @@ func newServer(app, policyName string, workers int, seed int64) (*pard.Server, *
 		PolicyName: policyName,
 		Workers:    ws,
 		Seed:       seed,
+		Admission:  adm,
 	})
 	if err != nil {
 		return nil, nil, err

@@ -4,10 +4,12 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"testing"
+
+	"pard"
 )
 
 func TestUnknownAppRejected(t *testing.T) {
-	if _, _, err := newServer("bogus", "pard", 2, 1); err == nil {
+	if _, _, err := newServer("bogus", "pard", 2, 1, pard.AdmissionConfig{}); err == nil {
 		t.Fatal("unknown app accepted")
 	}
 }
@@ -18,7 +20,7 @@ func TestServeDAGApp(t *testing.T) {
 	if testing.Short() {
 		t.Skip("skipped in -short")
 	}
-	srv, spec, err := newServer("da", "pard", 2, 1)
+	srv, spec, err := newServer("da", "pard", 2, 1, pard.AdmissionConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +48,7 @@ func TestServeOneRequest(t *testing.T) {
 	if testing.Short() {
 		t.Skip("skipped in -short")
 	}
-	srv, spec, err := newServer("tm", "pard", 2, 1)
+	srv, spec, err := newServer("tm", "pard", 2, 1, pard.AdmissionConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}

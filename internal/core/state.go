@@ -11,7 +11,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"pard/internal/pipeline"
@@ -48,14 +48,17 @@ type ModuleState struct {
 // module, which is up to one sync period stale — exactly the information
 // staleness the real system has.
 //
-// Publish and Get are safe for concurrent use: the simulator drives the
-// board single-threaded, but the live server shares it across real
-// goroutines. Snapshots are stored by value, so a reader never observes a
-// partially published state (the BatchWait slice is copied at publish time
-// and treated as immutable thereafter).
+// Publish and Get are safe for concurrent use and lock-free: each module
+// slot holds an atomic pointer to an immutable snapshot, published
+// copy-on-write. The simulator drives the board single-threaded; the live
+// server shares it across real goroutines (sync ticks, the admission gate's
+// per-request reads at arbitrary HTTP concurrency), and no reader ever
+// blocks a publisher or another reader. A reader never observes a partially
+// published state — it sees the whole previous snapshot or the whole new
+// one (the BatchWait slice is built fresh by the publisher and treated as
+// immutable thereafter).
 type Board struct {
-	mu     sync.RWMutex
-	states []ModuleState
+	states []atomic.Pointer[ModuleState]
 }
 
 // NewBoard returns a board for n modules with zeroed state.
@@ -63,25 +66,28 @@ func NewBoard(n int) *Board {
 	if n < 1 {
 		panic(fmt.Sprintf("core: board needs >=1 modules, got %d", n))
 	}
-	return &Board{states: make([]ModuleState, n)}
+	b := &Board{states: make([]atomic.Pointer[ModuleState], n)}
+	zero := new(ModuleState) // immutable, safe to share across slots
+	for i := range b.states {
+		b.states[i].Store(zero)
+	}
+	return b
 }
 
 // N returns the module count.
 func (b *Board) N() int { return len(b.states) }
 
-// Publish stores module k's snapshot.
+// Publish stores module k's snapshot: the value is copied once onto the
+// heap and installed with a single atomic pointer swap.
 func (b *Board) Publish(k int, s ModuleState) {
-	b.mu.Lock()
-	b.states[k] = s
-	b.mu.Unlock()
+	b.states[k].Store(&s)
 }
 
-// Get returns module k's last published snapshot.
+// Get returns module k's last published snapshot by value. The returned
+// BatchWait slice aliases the published snapshot and must be treated as
+// read-only.
 func (b *Board) Get(k int) ModuleState {
-	b.mu.RLock()
-	s := b.states[k]
-	b.mu.RUnlock()
-	return s
+	return *b.states[k].Load()
 }
 
 // WaitMode selects how the estimator treats downstream batch wait ΣW.
@@ -282,6 +288,17 @@ func (e *Estimator) Explain(b *Board, k int) Breakdown {
 		}
 	}
 	return best
+}
+
+// EntryEstimate is the admission gate's read of Eq. 1 at the pipeline entry:
+// the predicted end-to-end latency of a request arriving at module k right
+// now — k's recent queueing delay plus its profiled execution plus the
+// cached downstream estimate Lsub. Unlike Refresh this allocates nothing and
+// costs one lock-free board read, so a host may evaluate it per sync tick
+// (after Refresh) and compare the cached result against the SLO per request.
+func (e *Estimator) EntryEstimate(b *Board, k int) time.Duration {
+	s := b.Get(k)
+	return s.QueueDelay + s.ProfiledDur + e.lsub[k]
 }
 
 // EstimateEndToEnd is the Request Broker's Eq. 3: the end-to-end latency of

@@ -153,6 +153,9 @@ type Report struct {
 	Good     uint64 `json:"good"`
 	Late     uint64 `json:"late"`
 	Dropped  uint64 `json:"dropped"`
+	// Rejected counts 429 replies from the server's admission gate: refused
+	// at the door, not answered, tracked apart from generic bad statuses.
+	Rejected uint64 `json:"rejected"`
 	// Shed counts open-loop arrivals not sent because MaxInFlight was
 	// reached; LateDispatch those sent more than 2 ms behind schedule (the
 	// generator itself falling behind, not the server).
@@ -167,6 +170,14 @@ type Report struct {
 	// SLOAttainment is Good/Answered: the server deems a reply "good" only
 	// when it beat the pipeline SLO.
 	SLOAttainment float64 `json:"slo_attainment"`
+	// RejectRate is Rejected/Requests: the fraction of attempted sends the
+	// admission gate turned away.
+	RejectRate float64 `json:"reject_rate"`
+
+	// StreamErrors counts JSONL stream write failures (StreamError carries
+	// the first one); pre-fix these were silently swallowed.
+	StreamErrors uint64 `json:"stream_errors,omitempty"`
+	StreamError  string `json:"stream_error,omitempty"`
 
 	Latency Quantiles `json:"latency_ms"`
 
@@ -198,14 +209,21 @@ type run struct {
 
 	requests, answered        atomic.Uint64
 	good, late, dropped       atomic.Uint64
+	rejected                  atomic.Uint64
 	shed, lateDispatch        atomic.Uint64
 	timeouts, errs, badStatus atomic.Uint64
 	inFlight                  atomic.Int64
 
 	hist Hist
 
-	mu      sync.Mutex // guards sendOffsets and the stream writer
+	mu      sync.Mutex // guards sendOffsets and the stream encoder state
 	offsets []time.Duration
+	// enc is the one JSONL encoder for the whole run (built once in Run, not
+	// per record); streamErr/streamErrs surface write failures instead of
+	// swallowing them.
+	enc        *json.Encoder
+	streamErr  error
+	streamErrs uint64
 }
 
 // Run executes one load-generation run and blocks until every request has
@@ -218,6 +236,9 @@ func Run(cfg Config) (*Report, error) {
 	r := &run{cfg: cfg, client: cfg.Client}
 	if r.client == nil {
 		r.client = &http.Client{Timeout: cfg.Timeout}
+	}
+	if cfg.Stream != nil {
+		r.enc = json.NewEncoder(cfg.Stream)
 	}
 	r.start = time.Now()
 	switch cfg.Mode {
@@ -321,6 +342,13 @@ func (r *run) doOne() {
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 	}()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		// The server's admission gate turned the request away at the door:
+		// a deliberate, well-formed refusal — not a generic bad status.
+		r.rejected.Add(1)
+		r.stream(offset, lat, string(server.OutcomeRejected), nil)
+		return
+	}
 	if resp.StatusCode != http.StatusOK {
 		r.badStatus.Add(1)
 		r.stream(offset, lat, fmt.Sprintf("http_%d", resp.StatusCode), nil)
@@ -332,16 +360,23 @@ func (r *run) doOne() {
 		r.stream(offset, lat, "error", err)
 		return
 	}
-	r.answered.Add(1)
-	r.hist.Record(lat)
 	switch sr.Outcome {
 	case server.OutcomeGood:
 		r.good.Add(1)
 	case server.OutcomeLate:
 		r.late.Add(1)
-	default:
+	case server.OutcomeDropped:
 		r.dropped.Add(1)
+	default:
+		// A 200 reply with an empty or unknown outcome is a protocol error,
+		// not an answer. (Pre-fix it counted as both answered and dropped,
+		// skewing SLO attainment.)
+		r.errs.Add(1)
+		r.stream(offset, lat, "error", fmt.Errorf("load: 200 reply with unknown outcome %q", sr.Outcome))
+		return
 	}
+	r.answered.Add(1)
+	r.hist.Record(lat)
 	r.stream(offset, lat, string(sr.Outcome), nil)
 }
 
@@ -360,8 +395,12 @@ func (r *run) stream(offset, lat time.Duration, outcome string, err error) {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	enc := json.NewEncoder(r.cfg.Stream)
-	enc.Encode(rec)
+	if werr := r.enc.Encode(rec); werr != nil {
+		r.streamErrs++
+		if r.streamErr == nil {
+			r.streamErr = werr
+		}
+	}
 }
 
 func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
@@ -376,6 +415,7 @@ func (r *run) report(elapsed time.Duration) *Report {
 		Good:         r.good.Load(),
 		Late:         r.late.Load(),
 		Dropped:      r.dropped.Load(),
+		Rejected:     r.rejected.Load(),
 		Shed:         r.shed.Load(),
 		LateDispatch: r.lateDispatch.Load(),
 		Timeouts:     r.timeouts.Load(),
@@ -395,8 +435,15 @@ func (r *run) report(elapsed time.Duration) *Report {
 	if rep.Answered > 0 {
 		rep.SLOAttainment = float64(rep.Good) / float64(rep.Answered)
 	}
+	if rep.Requests > 0 {
+		rep.RejectRate = float64(rep.Rejected) / float64(rep.Requests)
+	}
 	r.mu.Lock()
 	rep.sendOffsets = append([]time.Duration(nil), r.offsets...)
+	rep.StreamErrors = r.streamErrs
+	if r.streamErr != nil {
+		rep.StreamError = r.streamErr.Error()
+	}
 	r.mu.Unlock()
 	sort.Slice(rep.sendOffsets, func(i, j int) bool { return rep.sendOffsets[i] < rep.sendOffsets[j] })
 	return rep
@@ -446,8 +493,8 @@ func (r *Report) CompareSim(s SimSpec) (*SimComparison, error) {
 		SyncPeriod:   s.SyncPeriod,
 		BatchFrac:    s.BatchFrac,
 		FixedWorkers: s.Workers,
-		JitterPct:    -1,              // live batches take exactly the profiled duration
-		NetDelay:     time.Nanosecond, // live hops are in-process (0 would select the 1 ms default)
+		JitterPct:    -1, // live batches take exactly the profiled duration
+		NetDelay:     -1, // live hops are in-process: explicitly zero, not the 1 ms default
 	})
 	if err != nil {
 		return nil, err
@@ -479,11 +526,17 @@ func (r *Report) WriteTable(w io.Writer) {
 	fmt.Fprintf(w, "pard-load: %s %s, %.1fs\n", r.Mode, r.Target, r.ElapsedSec)
 	fmt.Fprintf(w, "  requests   %8d   (%.1f/s offered)\n", r.Requests, r.OfferedRate)
 	fmt.Fprintf(w, "  answered   %8d   good %d  late %d  dropped %d\n", r.Answered, r.Good, r.Late, r.Dropped)
+	if r.Rejected > 0 {
+		fmt.Fprintf(w, "  rejected   %8d   (admission control, %.1f%% of requests)\n", r.Rejected, 100*r.RejectRate)
+	}
 	if r.Shed > 0 || r.LateDispatch > 0 {
 		fmt.Fprintf(w, "  generator  shed %d  late-dispatch %d\n", r.Shed, r.LateDispatch)
 	}
 	if r.Timeouts > 0 || r.Errors > 0 || r.BadStatus > 0 {
 		fmt.Fprintf(w, "  failures   timeouts %d  errors %d  bad-status %d\n", r.Timeouts, r.Errors, r.BadStatus)
+	}
+	if r.StreamErrors > 0 {
+		fmt.Fprintf(w, "  stream     %d write failures (first: %s)\n", r.StreamErrors, r.StreamError)
 	}
 	fmt.Fprintf(w, "  goodput    %8.1f/s   SLO attainment %.1f%%\n", r.Goodput, 100*r.SLOAttainment)
 	fmt.Fprintf(w, "  latency    p50 %.1fms  p90 %.1fms  p99 %.1fms  max %.1fms\n",

@@ -33,6 +33,11 @@ const (
 	Late
 	// DroppedOutcome: explicitly dropped by the policy at some module.
 	DroppedOutcome
+	// Rejected: refused at the door by admission control, before entering
+	// the pipeline. Counts as bad (the client got no answer) but is kept
+	// distinct from policy drops: a rejection consumed no GPU time and no
+	// queue slot, and the client was told to retry.
+	Rejected
 )
 
 // String returns the outcome name.
@@ -44,6 +49,8 @@ func (o Outcome) String() string {
 		return "late"
 	case DroppedOutcome:
 		return "dropped"
+	case Rejected:
+		return "rejected"
 	default:
 		return fmt.Sprintf("outcome(%d)", int(o))
 	}
@@ -74,10 +81,10 @@ type Collector struct {
 
 	records []Record
 	// aggregates maintained incrementally
-	good, late, dropped int
-	gpuTotal, gpuWasted time.Duration
-	perModuleDrops      []int
-	end                 time.Duration
+	good, late, dropped, rejected int
+	gpuTotal, gpuWasted           time.Duration
+	perModuleDrops                []int
+	end                           time.Duration
 
 	// finalization scratch, reused across calls (never serialized; the gob
 	// format is pinned by collectorWire)
@@ -121,6 +128,8 @@ func (c *Collector) Add(r Record) {
 		if r.DropModule >= 0 && r.DropModule < c.NModules {
 			c.perModuleDrops[r.DropModule]++
 		}
+	case Rejected:
+		c.rejected++
 	}
 	c.gpuTotal += r.GPUTime
 	if r.Bad() {
@@ -182,8 +191,9 @@ type Summary struct {
 	Total       int
 	Good        int
 	Late        int
-	Dropped     int     // policy drops only (excludes late)
-	DropRate    float64 // (dropped + late) / total
+	Dropped     int     // policy drops only (excludes late and rejected)
+	Rejected    int     // refused by admission control, never entered the pipeline
+	DropRate    float64 // (dropped + late) / total; rejections tracked separately
 	InvalidRate float64 // wasted GPU time / total GPU time
 	Goodput     float64 // good per second over the run span
 	OfferedRate float64 // total per second over the run span
@@ -201,6 +211,7 @@ func (c *Collector) Summary() Summary {
 		Good:      c.good,
 		Late:      c.late,
 		Dropped:   c.dropped,
+		Rejected:  c.rejected,
 		GPUTotal:  c.gpuTotal,
 		GPUWasted: c.gpuWasted,
 	}

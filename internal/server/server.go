@@ -16,11 +16,14 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"pard/internal/core"
 	"pard/internal/metrics"
 	"pard/internal/pipeline"
 	"pard/internal/profile"
@@ -59,6 +62,35 @@ type Config struct {
 	// concurrency-safe executor (the wall-clock default is; ManualExecutor
 	// must be driven from one goroutine).
 	Exec sched.Executor
+	// Admission configures estimator-driven admission control. The zero
+	// value disables the gate, leaving the submit path bit-identical to a
+	// server without one.
+	Admission AdmissionConfig
+}
+
+// AdmissionConfig parameterizes the admission gate guarding submit(). When
+// enabled, the gate consults the paper's proactive latency estimator (§4.2):
+// once per sync period it refreshes a private core.Estimator from the state
+// board and caches the predicted entry-to-sink latency; each arrival then
+// compares that cached prediction (one atomic load, no allocation) against
+// the SLO and is fast-rejected with HTTP 429 + Retry-After when it is
+// predicted to miss — before consuming a queue slot or any scheduler work.
+type AdmissionConfig struct {
+	// Enabled turns the gate on.
+	Enabled bool
+	// SLOFactor scales the admission threshold: reject when the predicted
+	// entry latency exceeds SLOFactor × SLO (default 1.0). Below 1 the gate
+	// rejects earlier (headroom for estimator error); above 1 it admits
+	// requests the estimator already condemns.
+	SLOFactor float64
+	// MaxInFlight additionally bounds concurrently outstanding requests
+	// (0 = no bound). A hard backstop for the estimator's blind window:
+	// the prediction only moves once per sync period, while a burst can
+	// arrive entirely inside one.
+	MaxInFlight int
+	// RetryAfter is the hint sent on 429 responses (default: the sync
+	// period — the earliest moment the gate's view of the board changes).
+	RetryAfter time.Duration
 }
 
 // Outcome is the terminal state of a live request.
@@ -69,6 +101,9 @@ const (
 	OutcomeGood    Outcome = "good"
 	OutcomeLate    Outcome = "late"
 	OutcomeDropped Outcome = "dropped"
+	// OutcomeRejected: refused by admission control before entering the
+	// pipeline (HTTP 429 + Retry-After on the wire).
+	OutcomeRejected Outcome = "rejected"
 )
 
 // Response is the JSON reply of POST /infer.
@@ -79,7 +114,25 @@ type Response struct {
 	// DropModule is set when Outcome is "dropped": the module whose policy
 	// dropped the request, or -1 when the server resolved it at shutdown
 	// rather than by a policy decision.
-	DropModule int `json:"drop_module,omitempty"`
+	DropModule int `json:"drop_module"`
+}
+
+// MarshalJSON emits drop_module exactly when the outcome is "dropped" — for
+// every drop, including module 0. (A plain `omitempty` tag silently omitted
+// drops at module 0, which clients then decoded as the zero value:
+// indistinguishable from "no drop module".)
+func (r Response) MarshalJSON() ([]byte, error) {
+	type wire struct {
+		ID         uint64  `json:"id"`
+		Outcome    Outcome `json:"outcome"`
+		LatencyMS  float64 `json:"latency_ms"`
+		DropModule *int    `json:"drop_module,omitempty"`
+	}
+	w := wire{ID: r.ID, Outcome: r.Outcome, LatencyMS: r.LatencyMS}
+	if r.Outcome == OutcomeDropped {
+		w.DropModule = &r.DropModule
+	}
+	return json.Marshal(w)
 }
 
 // pendingReq is one in-flight request: the core's Request, the client's
@@ -118,6 +171,18 @@ type Server struct {
 	// nextID allocates request IDs off the submit lock: IDs are issued in
 	// submit order without serializing submitters on a mutex.
 	nextID atomic.Uint64
+
+	// Admission-gate state. gateEst is a private estimator refreshed once
+	// per sync period on the executor (never concurrently — its rng draw
+	// order is deterministic); gatePredicted caches its entry-latency
+	// prediction in nanoseconds so the per-request admit check is one
+	// atomic load. inFlight counts admitted-but-unresolved requests for
+	// the MaxInFlight bound. All nil/zero when the gate is disabled.
+	gateEst       *core.Estimator
+	gatePredicted atomic.Int64
+	inFlight      atomic.Int64
+	sloLimitNs    int64
+	retryAfter    string // precomputed Retry-After header value (seconds)
 
 	// pmu guards the request-lifecycle state below. It is held only for
 	// pointer-sized work (slab bump, list link/unlink, stop latch) — never
@@ -167,10 +232,37 @@ func New(cfg Config) (*Server, error) {
 	if len(cfg.Workers) != n {
 		return nil, fmt.Errorf("server: %d worker counts for %d modules", len(cfg.Workers), n)
 	}
+	if cfg.Admission.SLOFactor < 0 {
+		return nil, fmt.Errorf("server: admission SLO factor %v < 0", cfg.Admission.SLOFactor)
+	}
+	if cfg.Admission.MaxInFlight < 0 {
+		return nil, fmt.Errorf("server: admission max in-flight %d < 0", cfg.Admission.MaxInFlight)
+	}
+	if cfg.Admission.Enabled {
+		if cfg.Admission.SLOFactor == 0 {
+			cfg.Admission.SLOFactor = 1
+		}
+		if cfg.Admission.RetryAfter <= 0 {
+			cfg.Admission.RetryAfter = cfg.SyncPeriod
+		}
+	}
 
 	s := &Server{
 		cfg: cfg,
 		col: metrics.NewCollector(cfg.Spec.SLO, n),
+	}
+	if cfg.Admission.Enabled {
+		// The gate's estimator draws from its own seed-derived stream so
+		// its Monte-Carlo sampling never perturbs the policy's
+		// deterministic streams (clock-parity invariant).
+		rng := rand.New(rand.NewSource(cfg.Seed ^ admissionSeedSalt))
+		s.gateEst = core.NewEstimator(cfg.Spec, core.DefaultEstimatorConfig(), rng)
+		s.sloLimitNs = int64(float64(cfg.Spec.SLO) * cfg.Admission.SLOFactor)
+		secs := int(cfg.Admission.RetryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		s.retryAfter = strconv.Itoa(secs)
 	}
 	if cfg.Exec != nil {
 		s.exec = cfg.Exec
@@ -214,9 +306,41 @@ func (s *Server) Start() {
 	s.pmu.Unlock()
 
 	s.every(s.cfg.SyncPeriod, "sync", s.cl.SyncTick)
+	if s.cfg.Admission.Enabled {
+		// Scheduled after "sync" so that at tied timestamps the modules
+		// publish first and the gate reads the fresh board (executors fire
+		// equal-time events in schedule order).
+		s.every(s.cfg.SyncPeriod, "admission", s.refreshAdmission)
+	}
 	if s.cfg.Scaling.Enabled {
 		s.every(s.cfg.Scaling.Period, "scale", s.cl.ScaleTick)
 	}
+}
+
+// refreshAdmission recomputes the gate's cached entry-latency prediction
+// from the board: Q_src + d_src + Lsub(source) — Eq. 1 evaluated at the
+// pipeline entry. Runs on the executor once per sync period; submitters only
+// ever read the cached atomic.
+func (s *Server) refreshAdmission(now time.Duration) {
+	b := s.cl.Board()
+	s.gateEst.Refresh(b)
+	s.gatePredicted.Store(int64(s.gateEst.EntryEstimate(b, s.cfg.Spec.Source())))
+}
+
+// admissionSeedSalt decorrelates the gate estimator's rng stream from the
+// core's seed-derived streams.
+const admissionSeedSalt int64 = 0x3e3779b97f4a7c15
+
+// admitNow is the per-request admission decision: lock-free and
+// allocation-free (an atomic counter load and an atomic prediction load).
+func (s *Server) admitNow() bool {
+	if !s.cfg.Admission.Enabled {
+		return true
+	}
+	if m := s.cfg.Admission.MaxInFlight; m > 0 && s.inFlight.Load() >= int64(m) {
+		return false
+	}
+	return s.gatePredicted.Load() <= s.sloLimitNs
 }
 
 // every runs fn on the executor each period until the server stops.
@@ -289,6 +413,18 @@ func (s *Server) submit() *pendingReq {
 	now := s.exec.Now()
 	id := s.nextID.Add(1) - 1
 	done := respChans.Get().(chan Response)
+	if !s.admitNow() {
+		// Fast rejection: the request never touches the core — no queue
+		// slot, no arrival timer, no scheduler work. Recorded so /stats
+		// and Summary surface the rejection rate.
+		pr := &pendingReq{done: done}
+		pr.req.ID = id
+		s.cmu.Lock()
+		s.col.Add(metrics.Record{Send: now, Done: now, Outcome: metrics.Rejected, DropModule: -1})
+		s.cmu.Unlock()
+		done <- Response{ID: id, Outcome: OutcomeRejected}
+		return pr
+	}
 	s.pmu.Lock()
 	if s.stopped {
 		s.pmu.Unlock()
@@ -314,6 +450,7 @@ func (s *Server) submit() *pendingReq {
 	}
 	s.pending = pr
 	s.pmu.Unlock()
+	s.inFlight.Add(1)
 	s.cl.Inject(&pr.req, now)
 	return pr
 }
@@ -379,6 +516,7 @@ func (s *Server) finish(req *sched.Request, resp Response, now time.Duration, dr
 // caller must have unregistered pr (exactly-once contract); the buffered
 // send therefore never blocks.
 func (s *Server) resolve(pr *pendingReq, resp Response, now time.Duration, dropModule int) {
+	s.inFlight.Add(-1)
 	resp.LatencyMS = float64((now - pr.req.Send).Microseconds()) / 1000
 	rec := metrics.Record{Send: pr.req.Send, Done: now, GPUTime: pr.req.GPU, DropModule: -1}
 	switch resp.Outcome {
@@ -410,6 +548,13 @@ var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 // produces a clean 500 instead of an error message appended to a partial
 // body with a misleading 200 status.
 func writeJSON(w http.ResponseWriter, v any) {
+	writeJSONStatus(w, http.StatusOK, v)
+}
+
+// writeJSONStatus is writeJSON with a non-200 status code (encode-before-
+// write still applies: an encoding failure yields a clean 500, never a
+// partial body under the intended status).
+func writeJSONStatus(w http.ResponseWriter, status int, v any) {
 	buf := bufPool.Get().(*bytes.Buffer)
 	defer bufPool.Put(buf)
 	buf.Reset()
@@ -418,6 +563,9 @@ func writeJSON(w http.ResponseWriter, v any) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
+	if status != http.StatusOK {
+		w.WriteHeader(status)
+	}
 	w.Write(buf.Bytes())
 }
 
@@ -441,6 +589,11 @@ func (s *Server) Handler() http.Handler {
 		select {
 		case resp := <-pr.done:
 			respChans.Put(pr.done)
+			if resp.Outcome == OutcomeRejected {
+				w.Header().Set("Retry-After", s.retryAfter)
+				writeJSONStatus(w, http.StatusTooManyRequests, resp)
+				return
+			}
 			writeJSON(w, resp)
 		case <-r.Context().Done():
 			// Client disconnected: stop waiting. The request keeps

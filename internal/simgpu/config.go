@@ -67,7 +67,10 @@ type Config struct {
 	QueueWindow time.Duration
 	// WaitReservoir is the per-module batch-wait sample reservoir size.
 	WaitReservoir int
-	// NetDelay is the per-hop transfer delay between modules.
+	// NetDelay is the per-hop transfer delay between modules. Zero selects
+	// the 1 ms default; a negative value requests an explicit zero delay
+	// (in-process hops, e.g. the live server's simulator twin) — mirroring
+	// the JitterPct sentinel.
 	NetDelay time.Duration
 	// JitterPct overrides per-model execution jitter when >= 0.
 	JitterPct float64
@@ -166,11 +169,11 @@ func (c *Config) withDefaults() (Config, error) {
 	if out.WaitReservoir <= 0 {
 		out.WaitReservoir = 512
 	}
-	if out.NetDelay < 0 {
-		return out, fmt.Errorf("simgpu: negative net delay %v", out.NetDelay)
-	}
 	if out.NetDelay == 0 {
 		out.NetDelay = time.Millisecond
+	}
+	if out.NetDelay < 0 {
+		out.NetDelay = 0 // explicit zero delay, mirroring JitterPct < 0
 	}
 	if out.JitterPct == 0 {
 		out.JitterPct = 0.05

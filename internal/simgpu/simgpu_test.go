@@ -39,12 +39,74 @@ func TestConfigValidation(t *testing.T) {
 		{Spec: pipeline.LV()},
 		{Spec: pipeline.LV(), Trace: tr, PolicyName: "bogus"},
 		{Spec: pipeline.LV(), Trace: tr, FixedWorkers: []int{1, 2}},
-		{Spec: pipeline.LV(), Trace: tr, NetDelay: -time.Second},
 	}
 	for i, cfg := range bad {
 		if _, err := Run(cfg); err == nil {
 			t.Fatalf("config %d accepted", i)
 		}
+	}
+}
+
+// TestNetDelaySentinel pins the zero-vs-default disambiguation: an unset
+// NetDelay selects the 1 ms default, while a negative value requests an
+// explicitly zero per-hop delay (mirroring the JitterPct sentinel). Pre-fix
+// a negative value was rejected, so callers wanting in-process hops had to
+// smuggle in time.Nanosecond.
+func TestNetDelaySentinel(t *testing.T) {
+	tr := steadyTrace(50, 5*time.Second, 1)
+	base := Config{Spec: pipeline.LV(), Trace: tr}
+
+	cfg := base
+	out, err := cfg.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NetDelay != time.Millisecond {
+		t.Fatalf("unset NetDelay defaulted to %v, want 1ms", out.NetDelay)
+	}
+
+	cfg = base
+	cfg.NetDelay = -1
+	out, err = cfg.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NetDelay != 0 {
+		t.Fatalf("NetDelay -1 resolved to %v, want explicit 0", out.NetDelay)
+	}
+
+	cfg = base
+	cfg.NetDelay = 3 * time.Millisecond
+	out, err = cfg.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NetDelay != 3*time.Millisecond {
+		t.Fatalf("explicit NetDelay resolved to %v, want 3ms", out.NetDelay)
+	}
+}
+
+// TestNetDelayZeroMatchesNanosecond pins the CompareSim migration: replaying
+// the same trace with the explicit-zero sentinel must classify requests
+// identically to the old time.Nanosecond workaround (a 1 ns hop never spans
+// a scheduling decision boundary).
+func TestNetDelayZeroMatchesNanosecond(t *testing.T) {
+	tr := steadyTrace(80, 5*time.Second, 7)
+	runWith := func(nd time.Duration) *Result {
+		return runLV(t, "pard", tr, func(c *Config) {
+			c.NetDelay = nd
+			c.JitterPct = -1
+			c.FixedWorkers = []int{2, 2, 2, 2, 2}
+		})
+	}
+	a, b := runWith(-1), runWith(time.Nanosecond)
+	if a.Summary.Good != b.Summary.Good ||
+		a.Summary.Late != b.Summary.Late ||
+		a.Summary.Dropped != b.Summary.Dropped ||
+		a.Summary.Total != b.Summary.Total {
+		t.Fatalf("explicit-zero run (good=%d late=%d dropped=%d total=%d) differs from 1ns run (good=%d late=%d dropped=%d total=%d)",
+			a.Summary.Good, a.Summary.Late, a.Summary.Dropped, a.Summary.Total,
+			b.Summary.Good, b.Summary.Late, b.Summary.Dropped, b.Summary.Total)
 	}
 }
 

@@ -22,7 +22,11 @@ import (
 // gained a mandatory |eng= marker. Pre-flip entries were computed on the
 // classic heap under unmarked keys; the version bump retires them wholesale
 // rather than leaving classic-era artifacts to age in shared cache volumes.
-const diskFormat = 2
+//
+// v3: metrics.Summary gained the Rejected outcome (admission control), which
+// changes the serialized gob type descriptors; pre-gate entries stop
+// matching instead of mixing layouts in shared cache volumes.
+const diskFormat = 3
 
 func init() {
 	// The cache stores entry values as `any`; register the concrete types

@@ -176,7 +176,7 @@ func TestDiskCacheQuarantinesCorruptEntries(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	idx := bytes.Index(data, []byte("v2|seed="))
+	idx := bytes.Index(data, []byte("v3|seed="))
 	if idx < 0 {
 		t.Fatal("scope string not found in entry bytes")
 	}

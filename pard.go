@@ -243,6 +243,10 @@ type (
 	Server = server.Server
 	// ServerResponse is the JSON reply of POST /infer.
 	ServerResponse = server.Response
+	// AdmissionConfig parameterizes the estimator-driven admission gate:
+	// requests predicted to miss the SLO are fast-rejected with HTTP 429 +
+	// Retry-After before entering the pipeline (ServerConfig.Admission).
+	AdmissionConfig = server.AdmissionConfig
 )
 
 // NewServer builds (but does not start) a live pipeline server for any
