@@ -6,6 +6,7 @@
 package pard_test
 
 import (
+	"net"
 	"runtime"
 	"strconv"
 	"strings"
@@ -16,6 +17,7 @@ import (
 	"pard"
 	"pard/internal/core"
 	"pard/internal/depq"
+	"pard/internal/dist"
 	"pard/internal/pipeline"
 	"pard/internal/policy"
 	"pard/internal/profile"
@@ -287,6 +289,78 @@ func BenchmarkShardedDASequential(b *testing.B) { benchShardedDA(b, "", 1) }
 // sharding machinery itself costs ~nothing). The differential harness in
 // internal/sched proves the outputs are byte-identical to Sequential.
 func BenchmarkShardedDASharded(b *testing.B) { benchShardedDA(b, "", 5) }
+
+// benchLaneGroupCfg is the workload for the lane-group barrier benchmarks:
+// a short DA run with a tight sync period, so the per-window barrier
+// exchange (posts + intents + charges all-gather) dominates the topology
+// overhead being measured.
+func benchLaneGroupCfg(b *testing.B) pard.SimConfig {
+	b.Helper()
+	tr := pard.GenerateTrace(pard.TraceConfig{
+		Kind: pard.Steady, Duration: 4 * time.Second, PeakRate: 300, Seed: 1,
+	})
+	return pard.SimConfig{
+		Spec:         pard.DA(),
+		PolicyName:   "pard",
+		Trace:        tr,
+		Seed:         1,
+		SyncPeriod:   100 * time.Millisecond,
+		FixedWorkers: []int{8, 8, 8, 8, 8},
+	}
+}
+
+// BenchmarkLaneGroupBarrier measures the lane-group exchange machinery by
+// running the identical 2-group simulation over both Transport
+// implementations: the in-process memTransport (Config.Groups) and the
+// framed gob transport over real loopback TCP (internal/dist, the -hosts
+// path). The mem/gob gap is the wire cost of the lockstep protocol — gob
+// encode/decode plus kernel round trips per exchange; the gob variant also
+// spans two full cluster replicas, hub and spoke, per op. Both are gated in
+// the BENCH_<n>.json trajectory so protocol regressions (chattier barriers,
+// per-exchange allocation growth) surface in CI.
+func BenchmarkLaneGroupBarrier(b *testing.B) {
+	cfg := benchLaneGroupCfg(b)
+
+	b.Run("mem", func(b *testing.B) {
+		c := cfg
+		c.Groups = 2
+		for i := 0; i < b.N; i++ {
+			if _, err := pard.Simulate(c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("gob-loopback", func(b *testing.B) {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer l.Close()
+		for i := 0; i < b.N; i++ {
+			spokeDone := make(chan error, 1)
+			go func() {
+				conn, err := l.Accept()
+				if err != nil {
+					spokeDone <- err
+					return
+				}
+				_, err = dist.ServeSim(conn, dist.SimOptions{})
+				spokeDone <- err
+			}()
+			conn, err := net.Dial("tcp", l.Addr().String())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := dist.RunSimDistributed(cfg, []net.Conn{conn}, dist.SimOptions{}); err != nil {
+				b.Fatal(err)
+			}
+			if err := <-spokeDone; err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
 
 // BenchmarkSweepGrid measures the end-to-end sweep hot loop — trace
 // generation, simulation, metrics collection, and percentile finalization —

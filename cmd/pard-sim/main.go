@@ -6,6 +6,14 @@
 //	pard-sim -app lv -trace tweet -policy pard -duration 300s
 //	pard-sim -app da -trace azure -policy nexus -seed 7 -compare
 //	pard-sim -compare -parallel 4    # fan the comparison out over 4 workers
+//
+// Distributed simulation (determinism invariant #5 — every topology below
+// produces bit-identical results):
+//
+//	pard-sim -groups 4                      # 4 in-process lane-group replicas
+//	pard-sim -hosts hostB:7071,hostC:7071   # hub + 2 remote lane groups
+//	pard-sim -join-sim :7071                # serve one lane group: wait here
+//	                                        # for a -hosts hub to dial in
 package main
 
 import (
@@ -13,10 +21,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
+	"strings"
 	"time"
 
 	"pard"
+	"pard/internal/dist"
 	"pard/internal/sweep"
 )
 
@@ -40,6 +51,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	parallel := fs.Int("parallel", 0, "concurrent simulation runs (0 = all CPU cores, 1 = sequential)")
 	engine := fs.String("engine", "lane", "execution engine: lane (the default per-module lane engine) or classic (the deprecated pre-flip global event heap, kept one deprecation cycle to reproduce old numbers)")
 	shards := fs.Int("shards", 0, "per-module event-lane workers within each simulation (0 or 1 = the default lane engine run sequentially, N = N concurrent workers; must be 0 with -engine classic)")
+	groups := fs.Int("groups", 0, "in-process lane-group replicas per simulation (0 or 1 = ungrouped; results are bit-identical at every count — determinism invariant #5)")
+	hosts := fs.String("hosts", "", "comma-separated addresses of waiting lane-group peers (pard-sim -join-sim or pard-worker -sim); this process becomes the hub (lane group 0) and the run spans len(hosts)+1 processes")
+	joinSim := fs.String("join-sim", "", "join one distributed simulation as a lane group: listen on this address, serve the hub that dials in, print this replica's result, exit")
 	list := fs.Bool("list", false, "list policies and exit")
 	window := fs.Duration("window", 24*time.Second, "goodput window size")
 	if err := fs.Parse(args); err != nil {
@@ -54,6 +68,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 			fmt.Fprintln(stdout, p)
 		}
 		return nil
+	}
+
+	if *joinSim != "" {
+		if *hosts != "" {
+			return errors.New("-join-sim (spoke) and -hosts (hub) are mutually exclusive")
+		}
+		return serveSimSpoke(*joinSim, *window, stdout, stderr)
 	}
 
 	spec, err := specFor(*app)
@@ -71,6 +92,29 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "workload %s-%s: %d requests, mean %.1f req/s, SLO %v\n",
 		*app, *traceKind, tr.Len(), tr.MeanRate(), spec.SLO)
+
+	if *hosts != "" {
+		if *compare {
+			return errors.New("-compare runs several policies; -hosts runs one simulation distributed")
+		}
+		if *groups > 1 {
+			return errors.New("-groups (in-process lane groups) and -hosts (cross-host lane groups) are mutually exclusive")
+		}
+		res, err := runSimHub(strings.Split(*hosts, ","), pard.SimConfig{
+			Spec:       spec,
+			PolicyName: *policyName,
+			Trace:      tr,
+			Seed:       *seed,
+			Engine:     *engine,
+			Shards:     *shards,
+		}, stderr)
+		if err != nil {
+			return err
+		}
+		printHeader(stdout)
+		printRow(stdout, *policyName, res, *window)
+		return nil
+	}
 
 	policies := []string{*policyName}
 	if *compare {
@@ -94,6 +138,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 					Seed:       *seed,
 					Engine:     *engine,
 					Shards:     *shards,
+					Groups:     *groups,
 				})
 			},
 		}
@@ -103,21 +148,80 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	fmt.Fprintf(stdout, "%-14s %9s %9s %9s %9s %12s %10s %8s %8s\n",
-		"policy", "goodput", "drop", "invalid", "late", "minGoodput", "maxDrop", "p50", "p99")
+	printHeader(stdout)
 	for i, pol := range policies {
-		res := results[i]
-		s := res.Summary
-		p50, p99 := time.Duration(0), time.Duration(0)
-		if qs := res.Collector.LatencyQuantiles(0.5, 0.99); qs != nil {
-			p50, p99 = qs[0], qs[1]
-		}
-		fmt.Fprintf(stdout, "%-14s %8.1f/s %8.2f%% %8.2f%% %9d %12.3f %9.2f%% %7dms %6dms\n",
-			pol, s.Goodput, 100*s.DropRate, 100*s.InvalidRate, s.Late,
-			res.Collector.MinNormalizedGoodput(*window),
-			100*res.Collector.MaxDropRate(*window),
-			p50.Milliseconds(), p99.Milliseconds())
+		printRow(stdout, pol, results[i], *window)
 	}
+	return nil
+}
+
+func printHeader(w io.Writer) {
+	fmt.Fprintf(w, "%-14s %9s %9s %9s %9s %12s %10s %8s %8s\n",
+		"policy", "goodput", "drop", "invalid", "late", "minGoodput", "maxDrop", "p50", "p99")
+}
+
+func printRow(w io.Writer, pol string, res *pard.SimResult, window time.Duration) {
+	s := res.Summary
+	p50, p99 := time.Duration(0), time.Duration(0)
+	if qs := res.Collector.LatencyQuantiles(0.5, 0.99); qs != nil {
+		p50, p99 = qs[0], qs[1]
+	}
+	fmt.Fprintf(w, "%-14s %8.1f/s %8.2f%% %8.2f%% %9d %12.3f %9.2f%% %7dms %6dms\n",
+		pol, s.Goodput, 100*s.DropRate, 100*s.InvalidRate, s.Late,
+		res.Collector.MinNormalizedGoodput(window),
+		100*res.Collector.MaxDropRate(window),
+		p50.Milliseconds(), p99.Milliseconds())
+}
+
+// runSimHub dials each waiting lane-group peer and runs one simulation
+// replicated across all of them, this process serving as lane group 0.
+func runSimHub(addrs []string, cfg pard.SimConfig, stderr io.Writer) (*pard.SimResult, error) {
+	conns := make([]net.Conn, 0, len(addrs))
+	closeAll := func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}
+	for _, addr := range addrs {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			closeAll()
+			return nil, errors.New("-hosts contains an empty address")
+		}
+		conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("dialing lane-group peer %s: %w", addr, err)
+		}
+		conns = append(conns, conn)
+	}
+	fmt.Fprintf(stderr, "pard-sim: distributing over %d lane groups (this host is the hub)\n", len(conns)+1)
+	return dist.RunSimDistributed(cfg, conns, dist.SimOptions{
+		Logf: func(format string, args ...any) { fmt.Fprintf(stderr, format+"\n", args...) },
+	})
+}
+
+// serveSimSpoke waits at addr for a hub, serves its lane group, and prints
+// this replica's (bit-identical) result.
+func serveSimSpoke(addr string, window time.Duration, stdout, stderr io.Writer) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer l.Close()
+	fmt.Fprintf(stderr, "pard-sim: waiting for a simulation hub on %s\n", l.Addr())
+	conn, err := l.Accept()
+	if err != nil {
+		return err
+	}
+	res, err := dist.ServeSim(conn, dist.SimOptions{
+		Logf: func(format string, args ...any) { fmt.Fprintf(stderr, format+"\n", args...) },
+	})
+	if err != nil {
+		return err
+	}
+	printHeader(stdout)
+	printRow(stdout, "(replica)", res, window)
 	return nil
 }
 

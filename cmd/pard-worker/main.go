@@ -51,6 +51,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	cacheDir := fs.String("cache-dir", "", "persist finished units here (share it across the cluster for a common artifact store)")
 	once := fs.Bool("once", false, "with -listen: serve a single coordinator connection, then exit")
 	quiet := fs.Bool("quiet", false, "suppress per-unit logging")
+	sim := fs.Bool("sim", false, "serve distributed-simulation sessions (one lane group per connection, see pard-sim -hosts) instead of sweep units; requires -listen")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -59,6 +60,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if (*listen == "") == (*join == "") {
 		return errors.New("exactly one of -listen or -join is required")
+	}
+	if *sim {
+		if *join != "" {
+			return errors.New("-sim sessions are dialed by the hub: use -listen")
+		}
+		if *cacheDir != "" {
+			return errors.New("-cache-dir does not apply to -sim (simulation replicas are never cached mid-run)")
+		}
 	}
 	if *cacheDir != "" {
 		// Preflight: a bad cache dir should fail here with a clear message,
@@ -86,6 +95,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	// The resolved address matters when -listen binds port 0 (tests, ad-hoc
 	// clusters): print it where orchestration can read it.
 	fmt.Fprintf(stderr, "pard-worker: listening on %s\n", l.Addr())
+	if *sim {
+		return serveSim(l, *once, cfg.Logf, stderr)
+	}
 	if *once {
 		conn, err := l.Accept()
 		if err != nil {
@@ -94,4 +106,33 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return dist.ServeConn(conn, cfg)
 	}
 	return dist.Serve(l, cfg)
+}
+
+// serveSim accepts simulation hubs and runs one lane group per connection.
+// The replica's result is discarded here — it is bit-identical to the
+// hub's, which is the one presented to the user.
+func serveSim(l net.Listener, once bool, logf func(string, ...any), stderr io.Writer) error {
+	opts := dist.SimOptions{Logf: logf}
+	if once {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		_, err = dist.ServeSim(conn, opts)
+		return err
+	}
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go func() {
+			if _, err := dist.ServeSim(conn, opts); err != nil {
+				fmt.Fprintf(stderr, "pard-worker: sim session ended: %v\n", err)
+			}
+		}()
+	}
 }

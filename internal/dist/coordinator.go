@@ -2,7 +2,6 @@ package dist
 
 import (
 	"context"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"net"
@@ -96,8 +95,7 @@ type WorkerStats struct {
 type workerConn struct {
 	id          int
 	conn        net.Conn
-	enc         *gob.Encoder
-	dec         *gob.Decoder
+	f           *framed
 	capacity    int
 	outstanding map[int]bool
 	dead        bool
@@ -198,16 +196,15 @@ func (c *Coordinator) AddConn(conn net.Conn) error {
 	if c.cfg.HandshakeTimeout > 0 {
 		conn.SetDeadline(time.Now().Add(c.cfg.HandshakeTimeout))
 	}
-	enc := gob.NewEncoder(conn)
-	dec := gob.NewDecoder(conn)
+	f := newFramed(conn)
 	ecfg := c.cfg.Engine.Config()
 	libFP := ecfg.Library.Fingerprint()
-	if err := enc.Encode(Hello{Proto: ProtoVersion, BaseSeed: ecfg.BaseSeed, TraceDuration: ecfg.TraceDuration, LibraryFP: libFP}); err != nil {
+	if err := f.send(Hello{Proto: ProtoVersion, BaseSeed: ecfg.BaseSeed, TraceDuration: ecfg.TraceDuration, LibraryFP: libFP}); err != nil {
 		conn.Close()
 		return fmt.Errorf("dist: hello: %w", err)
 	}
 	var ack HelloAck
-	if err := dec.Decode(&ack); err != nil {
+	if err := f.recv(&ack, 0); err != nil {
 		conn.Close()
 		return fmt.Errorf("dist: hello ack: %w", err)
 	}
@@ -226,7 +223,7 @@ func (c *Coordinator) AddConn(conn net.Conn) error {
 	if c.cfg.HandshakeTimeout > 0 {
 		conn.SetDeadline(time.Time{})
 	}
-	w := &workerConn{conn: conn, enc: enc, dec: dec, capacity: max(ack.Capacity, 1), outstanding: map[int]bool{}}
+	w := &workerConn{conn: conn, f: f, capacity: max(ack.Capacity, 1), outstanding: map[int]bool{}}
 
 	c.mu.Lock()
 	if c.closed {
@@ -625,7 +622,7 @@ func (c *Coordinator) dispatchLoop(w *workerConn) {
 		if !ok {
 			return
 		}
-		if err := w.enc.Encode(u); err != nil {
+		if err := w.f.send(u); err != nil {
 			c.dropWorker(w, fmt.Errorf("send unit %d: %w", u.ID, err))
 			return
 		}
@@ -637,7 +634,7 @@ func (c *Coordinator) dispatchLoop(w *workerConn) {
 func (c *Coordinator) readLoop(w *workerConn) {
 	for {
 		var r UnitResult
-		if err := w.dec.Decode(&r); err != nil {
+		if err := w.f.recv(&r, 0); err != nil {
 			c.dropWorker(w, err)
 			return
 		}

@@ -2,7 +2,6 @@ package dist
 
 import (
 	"context"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"net"
@@ -103,23 +102,22 @@ func TestKeyCrossCheckRejectsSkew(t *testing.T) {
 	coordSide, workerSide := net.Pipe()
 	done := make(chan error, 1)
 	go func() { done <- ServeConn(workerSide, WorkerConfig{Workers: 1}) }()
-	enc := gob.NewEncoder(coordSide)
-	dec := gob.NewDecoder(coordSide)
+	f := newFramed(coordSide)
 	hello := Hello{Proto: ProtoVersion, BaseSeed: 3, TraceDuration: 10 * time.Second,
 		LibraryFP: profile.DefaultLibrary().Fingerprint()}
-	if err := enc.Encode(hello); err != nil {
+	if err := f.send(hello); err != nil {
 		t.Fatal(err)
 	}
 	var ack HelloAck
-	if err := dec.Decode(&ack); err != nil {
+	if err := f.recv(&ack, 0); err != nil {
 		t.Fatal(err)
 	}
 	spec := sweep.Spec{App: "tm", Kind: trace.Steady, Policy: "pard"}
-	if err := enc.Encode(WorkUnit{Epoch: 1, ID: 0, Key: "run|tampered-key", Spec: spec}); err != nil {
+	if err := f.send(WorkUnit{Epoch: 1, ID: 0, Key: "run|tampered-key", Spec: spec}); err != nil {
 		t.Fatal(err)
 	}
 	var r UnitResult
-	if err := dec.Decode(&r); err != nil {
+	if err := f.recv(&r, 0); err != nil {
 		t.Fatal(err)
 	}
 	if r.ID != 0 || r.Result != nil || !strings.Contains(r.Err, "key mismatch") {
@@ -138,15 +136,14 @@ func TestVersionMismatchRefused(t *testing.T) {
 		coordSide, workerSide := net.Pipe()
 		done := make(chan error, 1)
 		go func() { done <- ServeConn(workerSide, WorkerConfig{Workers: 1}) }()
-		enc := gob.NewEncoder(coordSide)
-		dec := gob.NewDecoder(coordSide)
-		if err := enc.Encode(Hello{Proto: ProtoVersion + 1}); err != nil {
+		f := newFramed(coordSide)
+		if err := f.send(Hello{Proto: ProtoVersion + 1}); err != nil {
 			t.Fatal(err)
 		}
 		// The worker still acks (net.Pipe is synchronous, so the refusal
 		// ack must be consumed) but then refuses to serve.
 		var ack HelloAck
-		if err := dec.Decode(&ack); err != nil {
+		if err := f.recv(&ack, 0); err != nil {
 			t.Fatal(err)
 		}
 		if err := <-done; err == nil || !strings.Contains(err.Error(), "version mismatch") {
@@ -159,11 +156,10 @@ func TestVersionMismatchRefused(t *testing.T) {
 		defer c.Close()
 		coordSide, fakeWorker := net.Pipe()
 		go func() {
-			dec := gob.NewDecoder(fakeWorker)
-			enc := gob.NewEncoder(fakeWorker)
+			f := newFramed(fakeWorker)
 			var h Hello
-			if dec.Decode(&h) == nil {
-				enc.Encode(HelloAck{Proto: ProtoVersion + 1, Capacity: 1})
+			if f.recv(&h, 0) == nil {
+				f.send(HelloAck{Proto: ProtoVersion + 1, Capacity: 1})
 			}
 		}()
 		if err := c.AddConn(coordSide); err == nil || !strings.Contains(err.Error(), "version mismatch") {
@@ -179,24 +175,23 @@ func TestStaleEpochResultDropped(t *testing.T) {
 	c := NewCoordinator(CoordinatorConfig{Engine: eng})
 	defer c.Close()
 	coordSide, fakeWorker := net.Pipe()
-	enc := gob.NewEncoder(fakeWorker)
-	dec := gob.NewDecoder(fakeWorker)
+	f := newFramed(fakeWorker)
 	var handshake sync.WaitGroup
 	handshake.Add(1)
 	go func() {
 		defer handshake.Done()
 		var h Hello
-		if dec.Decode(&h) != nil {
+		if f.recv(&h, 0) != nil {
 			return
 		}
-		enc.Encode(HelloAck{Proto: ProtoVersion, Capacity: 1, LibraryFP: h.LibraryFP})
+		f.send(HelloAck{Proto: ProtoVersion, Capacity: 1, LibraryFP: h.LibraryFP})
 	}()
 	if err := c.AddConn(coordSide); err != nil {
 		t.Fatal(err)
 	}
 	handshake.Wait()
 	// Inject a garbage result before any sweep: no state may change.
-	if err := enc.Encode(UnitResult{Epoch: 99, ID: 0, Key: "run|bogus"}); err != nil {
+	if err := f.send(UnitResult{Epoch: 99, ID: 0, Key: "run|bogus"}); err != nil {
 		t.Fatal(err)
 	}
 	time.Sleep(20 * time.Millisecond)
@@ -253,20 +248,19 @@ func TestEchoedKeyMismatchFailsUnit(t *testing.T) {
 	defer c.Close()
 	coordSide, fakeWorker := net.Pipe()
 	go func() {
-		dec := gob.NewDecoder(fakeWorker)
-		enc := gob.NewEncoder(fakeWorker)
+		f := newFramed(fakeWorker)
 		var h Hello
-		if dec.Decode(&h) != nil {
+		if f.recv(&h, 0) != nil {
 			return
 		}
-		if enc.Encode(HelloAck{Proto: ProtoVersion, Capacity: 1, LibraryFP: h.LibraryFP}) != nil {
+		if f.send(HelloAck{Proto: ProtoVersion, Capacity: 1, LibraryFP: h.LibraryFP}) != nil {
 			return
 		}
 		var u WorkUnit
-		if dec.Decode(&u) != nil {
+		if f.recv(&u, 0) != nil {
 			return
 		}
-		enc.Encode(UnitResult{Epoch: u.Epoch, ID: u.ID, Key: "run|tampered", Result: &simgpu.Result{}})
+		f.send(UnitResult{Epoch: u.Epoch, ID: u.ID, Key: "run|tampered", Result: &simgpu.Result{}})
 	}()
 	if err := c.AddConn(coordSide); err != nil {
 		t.Fatal(err)
@@ -464,21 +458,20 @@ func TestLateDuplicateAfterFailureDropped(t *testing.T) {
 
 	// A hand-driven worker that performs the handshake and hands back its
 	// encoder plus the single unit it gets assigned.
-	fakeWorker := func() (*gob.Encoder, chan WorkUnit) {
+	fakeWorker := func() (*framed, chan WorkUnit) {
 		coordSide, workerSide := net.Pipe()
-		enc := gob.NewEncoder(workerSide)
-		dec := gob.NewDecoder(workerSide)
+		f := newFramed(workerSide)
 		units := make(chan WorkUnit, 1)
 		go func() {
 			var h Hello
-			if dec.Decode(&h) != nil {
+			if f.recv(&h, 0) != nil {
 				return
 			}
-			if enc.Encode(HelloAck{Proto: ProtoVersion, Capacity: 1, LibraryFP: h.LibraryFP}) != nil {
+			if f.send(HelloAck{Proto: ProtoVersion, Capacity: 1, LibraryFP: h.LibraryFP}) != nil {
 				return
 			}
 			var u WorkUnit
-			if dec.Decode(&u) != nil {
+			if f.recv(&u, 0) != nil {
 				return
 			}
 			units <- u
@@ -486,7 +479,7 @@ func TestLateDuplicateAfterFailureDropped(t *testing.T) {
 		if err := c.AddConn(coordSide); err != nil {
 			t.Fatal(err)
 		}
-		return enc, units
+		return f, units
 	}
 
 	grid := tinyGrid()[:1]
@@ -504,7 +497,7 @@ func TestLateDuplicateAfterFailureDropped(t *testing.T) {
 	if uB.ID != uA.ID {
 		t.Fatalf("speculative copy is unit %d, want %d", uB.ID, uA.ID)
 	}
-	if err := failer.Encode(UnitResult{Epoch: uB.Epoch, ID: uB.ID, Key: uB.Key, Err: "boom"}); err != nil {
+	if err := failer.send(UnitResult{Epoch: uB.Epoch, ID: uB.ID, Key: uB.Key, Err: "boom"}); err != nil {
 		t.Fatal(err)
 	}
 	// Once the failure is merged, the straggler wakes up with a SUCCESS for
@@ -516,7 +509,7 @@ func TestLateDuplicateAfterFailureDropped(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	if err := straggler.Encode(UnitResult{Epoch: uA.Epoch, ID: uA.ID, Key: uA.Key, Result: &simgpu.Result{}}); err != nil {
+	if err := straggler.send(UnitResult{Epoch: uA.Epoch, ID: uA.ID, Key: uA.Key, Result: &simgpu.Result{}}); err != nil {
 		t.Fatal(err)
 	}
 

@@ -41,7 +41,14 @@ import (
 // gained a mandatory |eng= marker (plus RunOpts.Engine on the wire). A v1
 // peer would silently simulate the same keys on the old engine — the
 // exact divergence the version gate exists to refuse.
-const ProtoVersion = 2
+//
+// Version 3: every message now travels as a length-prefixed gob frame (see
+// frame.go) instead of a bare gob stream, the spec key grammar gained a
+// conditional |topo= marker for lane-group placement, and the protocol
+// gained the distributed-simulation session (SimHello/SimAck plus the
+// lockstep exchange envelopes). A v2 peer would misparse the length prefix
+// as gob type wiring.
+const ProtoVersion = 3
 
 // Hello opens a coordinator→worker stream. It carries everything a worker
 // needs to reproduce the coordinator's derivation of per-run seeds and

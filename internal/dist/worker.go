@@ -1,7 +1,6 @@
 package dist
 
 import (
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
@@ -74,24 +73,23 @@ var ErrInjectedCrash = errors.New("dist: injected worker crash")
 func ServeConn(conn net.Conn, cfg WorkerConfig) error {
 	defer conn.Close()
 	cfg = cfg.withDefaults()
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
+	f := newFramed(conn)
 
 	if cfg.HandshakeTimeout > 0 {
 		conn.SetDeadline(time.Now().Add(cfg.HandshakeTimeout))
 	}
 	var h Hello
-	if err := dec.Decode(&h); err != nil {
+	if err := f.recv(&h, 0); err != nil {
 		return fmt.Errorf("dist: worker handshake: %w", err)
 	}
 	libFP := cfg.Library.Fingerprint()
 	if h.Proto != ProtoVersion {
 		// Best-effort ack so the coordinator reports the mismatch too.
-		_ = enc.Encode(HelloAck{Proto: ProtoVersion, LibraryFP: libFP})
+		_ = f.send(HelloAck{Proto: ProtoVersion, LibraryFP: libFP})
 		return fmt.Errorf("dist: protocol version mismatch: worker %d, coordinator %d", ProtoVersion, h.Proto)
 	}
 	if h.LibraryFP != libFP {
-		_ = enc.Encode(HelloAck{Proto: ProtoVersion, LibraryFP: libFP})
+		_ = f.send(HelloAck{Proto: ProtoVersion, LibraryFP: libFP})
 		return fmt.Errorf("dist: model-profile library mismatch (worker %016x, coordinator %016x)", libFP, h.LibraryFP)
 	}
 	eng := sweep.New(sweep.Config{
@@ -105,10 +103,10 @@ func ServeConn(conn net.Conn, cfg WorkerConfig) error {
 	if err := eng.DiskError(); err != nil {
 		// Refuse with the reason: the coordinator should see "cache dir
 		// broke on the worker", not a dropped stream.
-		_ = enc.Encode(HelloAck{Proto: ProtoVersion, LibraryFP: libFP, Err: err.Error()})
+		_ = f.send(HelloAck{Proto: ProtoVersion, LibraryFP: libFP, Err: err.Error()})
 		return err
 	}
-	if err := enc.Encode(HelloAck{Proto: ProtoVersion, Capacity: eng.Config().Workers, LibraryFP: libFP}); err != nil {
+	if err := f.send(HelloAck{Proto: ProtoVersion, Capacity: eng.Config().Workers, LibraryFP: libFP}); err != nil {
 		return fmt.Errorf("dist: worker handshake: %w", err)
 	}
 	if cfg.HandshakeTimeout > 0 {
@@ -135,7 +133,7 @@ func ServeConn(conn net.Conn, cfg WorkerConfig) error {
 		if crashed {
 			return
 		}
-		if err := enc.Encode(r); err != nil {
+		if err := f.send(r); err != nil {
 			return // reader will see the broken stream too
 		}
 		sent++
@@ -146,7 +144,7 @@ func ServeConn(conn net.Conn, cfg WorkerConfig) error {
 	}
 	for {
 		var u WorkUnit
-		if err := dec.Decode(&u); err != nil {
+		if err := f.recv(&u, 0); err != nil {
 			wg.Wait()
 			sendMu.Lock()
 			wasCrash := crashed

@@ -163,6 +163,59 @@ func TestShardedDifferential(t *testing.T) {
 	}
 }
 
+// runGroups executes one corpus case split into lane-group replicas over
+// the in-process transport and returns the byte-identity witness.
+func runGroups(t *testing.T, c diffCase, tr *trace.Trace, groups int) (*simgpu.Result, []byte) {
+	t.Helper()
+	res, err := simgpu.Run(simgpu.Config{
+		Spec:         c.spec,
+		PolicyName:   c.policy,
+		Trace:        tr,
+		Seed:         c.seed,
+		SyncPeriod:   200 * time.Millisecond,
+		Probes:       c.probes,
+		FixedWorkers: c.fixed,
+		Failures:     c.fails,
+		Groups:       groups,
+	})
+	if err != nil {
+		t.Fatalf("%s groups=%d: %v", c.name, groups, err)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(res); err != nil {
+		t.Fatalf("%s groups=%d: encode: %v", c.name, groups, err)
+	}
+	return res, buf.Bytes()
+}
+
+// TestLaneGroupDifferential replays the corpus split into 2 and 3 lockstep
+// lane-group replicas over the in-process transport and asserts byte
+// identity with the ungrouped run — the in-process half of determinism
+// invariant #5 on the same adversarial corpus the shard invariant uses
+// (DAG fan-out/merge across group boundaries, failures, scaling, every
+// policy family). The cross-host half — the gob transport over loopback
+// TCP — lives in internal/dist's TestSimDistributedDifferential.
+func TestLaneGroupDifferential(t *testing.T) {
+	for _, c := range diffCorpus() {
+		if testing.Short() && !c.short {
+			continue
+		}
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			tr := trace.MustGenerate(trace.Config{
+				Kind: c.kind, Duration: 8 * time.Second, PeakRate: c.rate, Seed: c.seed + 100,
+			})
+			flatRes, flatBytes := runShards(t, c, tr, 1)
+			for _, groups := range []int{2, 3} {
+				res, b := runGroups(t, c, tr, groups)
+				if !bytes.Equal(flatBytes, b) {
+					explainDivergence(t, c.name, groups, flatRes, res)
+				}
+			}
+		})
+	}
+}
+
 // TestShardedOversharded pins the edge where the shard count exceeds both
 // module count and any sane worker count: results must still match the
 // sequential baseline exactly.

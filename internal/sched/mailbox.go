@@ -2,6 +2,7 @@ package sched
 
 import (
 	"cmp"
+	"fmt"
 	"slices"
 	"time"
 )
@@ -56,8 +57,9 @@ type laneScheduler interface {
 	// or -1 for host/control/barrier context. The event travels by value
 	// (typed hot-path ops carry no closure; see laneEvent).
 	scheduleLaneEvent(src, dst int, at time.Duration, ev laneEvent)
-	// setBarrierHook registers the cluster's barrier commit.
-	setBarrierHook(func())
+	// setBarrierHook registers the cluster's barrier commit; a non-nil
+	// error aborts the run (multi-group transport failures).
+	setBarrierHook(func() error)
 	// parallelLanes fans a lane-local function out over all lanes from
 	// control context.
 	parallelLanes(fn func(lane int))
@@ -115,6 +117,73 @@ func (b *laneBridge) add(k int, req *Request, at time.Duration, drop bool) {
 func (b *laneBridge) sees(k int, req *Request) bool {
 	_, ok := b.retired[k][req]
 	return ok
+}
+
+// seesAny reports whether ANY module holds a pending termination for req.
+// Multi-group control context uses it: under a single group, control-context
+// terminations commit immediately and are visible across modules within the
+// same control event; deferred multi-group terminations must reproduce that
+// visibility, so the whole pending set counts.
+func (b *laneBridge) seesAny(req *Request) bool {
+	for k := range b.retired {
+		if _, ok := b.retired[k][req]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// encodeIntents drains the pending intents into their wire shape, gathered
+// in (module, decision order) — the same order commit's merge would have
+// gathered them. The retired maps stay populated until commitWire applies
+// the merged set (the deciding module must keep seeing its own intents
+// until the commit makes them globally visible).
+func (b *laneBridge) encodeIntents() []WireIntent {
+	var out []WireIntent
+	for k, list := range b.intents {
+		for _, it := range list {
+			out = append(out, WireIntent{At: it.at, Mod: int32(k), Req: it.req.ID, Drop: it.drop})
+		}
+		b.intents[k] = list[:0]
+	}
+	return out
+}
+
+// commitWire applies the all-gathered intents of every lane group in
+// (virtual time, module, decision order) order — the identical total order
+// a single group's commit produces, because equal (time, module) runs come
+// from exactly one group and the concatenation preserves their decision
+// order. resolve maps wire request IDs onto this group's replica slab.
+func (b *laneBridge) commitWire(all []BarrierMsg, resolve func(uint64) *Request) error {
+	merged := b.scratch[:0]
+	for i := range all {
+		for _, wi := range all[i].Intents {
+			req := resolve(wi.Req)
+			if req == nil {
+				b.scratch = merged[:0]
+				return fmt.Errorf("sched: intent for unknown request %d from group %d", wi.Req, all[i].Group)
+			}
+			merged = append(merged, mergedIntent{intent: intent{at: wi.At, req: req, drop: wi.Drop}, mod: int(wi.Mod)})
+		}
+	}
+	slices.SortStableFunc(merged, func(a, b mergedIntent) int {
+		if a.at != b.at {
+			return cmp.Compare(a.at, b.at)
+		}
+		return cmp.Compare(a.mod, b.mod)
+	})
+	for _, m := range merged {
+		if m.drop {
+			b.cl.commitDrop(m.req, m.mod, m.at)
+		} else {
+			b.cl.commitComplete(m.req, m.at)
+		}
+	}
+	b.scratch = merged[:0]
+	for k := range b.retired {
+		clear(b.retired[k])
+	}
+	return nil
 }
 
 // commit applies every deferred termination in (virtual time, module,

@@ -48,6 +48,12 @@ type module struct {
 	// barrier (see Cluster.flushCharges). The slab is reused across windows.
 	charges []chargeRec
 
+	// mergeResets buffers this module's DAG merge-arms in a multi-group
+	// topology (empty otherwise): forward executes on the owner only, so
+	// the reset must ride the next barrier to the peer replicas. Lane-local
+	// like charges — forward runs on this module's lane.
+	mergeResets []WireMergeReset
+
 	// publish scratch, reused across sync ticks: wclScratch holds the WCL
 	// window values (module-owned, safe to sort in place), pctScratch the
 	// percentile outputs.

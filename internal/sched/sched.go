@@ -79,6 +79,12 @@ type Config struct {
 	OnDone func(req *Request, now time.Duration)
 	// OnDrop, when set, observes each request dropped at a module.
 	OnDrop func(req *Request, module int, now time.Duration)
+
+	// Resolve maps a wire request ID onto this process's replica of the
+	// Request. Required when the executor runs a multi-group topology
+	// (every group holds the full request slab; requests cross the group
+	// boundary by ID); unused otherwise.
+	Resolve func(id uint64) *Request
 }
 
 // Cluster is one instantiated scheduling core: the controller + worker pool
@@ -110,6 +116,15 @@ type Cluster struct {
 	// and barrier commits), where terminations apply immediately even in
 	// lane mode. Only ever flipped while every lane is parked.
 	inControl bool
+
+	// Multi-group topology (nil/zero on single-group and classic paths):
+	// this cluster is one lane-group replica, exchanging board rows,
+	// scaling demands, mailbox posts, charges and termination intents with
+	// its peers through tr. See transport.go for the distribution model.
+	shx     *ShardedExecutor
+	topo    Topology
+	tr      Transport
+	resolve func(uint64) *Request
 
 	// classicEvents recycles event carriers on the classic-executor path
 	// (see classicEvent). Per-cluster so pooled carriers never cross runs;
@@ -195,6 +210,13 @@ func New(cfg Config, exec Executor) (*Cluster, error) {
 		c.ls = ls
 		c.bridge = newLaneBridge(c, n)
 		ls.setBarrierHook(c.barrier)
+		if sx, ok := exec.(*ShardedExecutor); ok && sx.multi() {
+			if cfg.Resolve == nil {
+				return nil, fmt.Errorf("sched: a %d-group topology needs a Resolve hook (wire requests travel by ID)", sx.topo.Groups)
+			}
+			c.shx, c.topo, c.tr, c.resolve = sx, sx.Topology(), sx.tr, cfg.Resolve
+			sx.setControlHook(c.controlFlush)
+		}
 	}
 
 	estCfg := core.DefaultEstimatorConfig()
@@ -330,12 +352,127 @@ func (c *Cluster) scheduleClassic(at time.Duration, ev laneEvent) {
 }
 
 // control brackets a serial control-context callback (sync, scaling,
-// injected failures): in lane mode, terminations decided here commit
-// immediately rather than deferring to a barrier.
+// injected failures): in single-group lane mode, terminations decided here
+// commit immediately rather than deferring to a barrier. In a multi-group
+// topology they defer and commit at the post-event control flush instead —
+// the deciding group alone knows them, so immediate commits would diverge
+// the replicas.
 func (c *Cluster) control(fn func()) {
 	c.inControl = true
 	fn()
 	c.inControl = false
+}
+
+// owns reports whether this cluster replica executes module k (always true
+// outside a multi-group topology).
+func (c *Cluster) owns(k int) bool { return c.topo.owns(k) }
+
+// fail aborts a multi-group run from control context, poisoning the
+// transport so peer groups unblock.
+func (c *Cluster) fail(err error) {
+	if c.shx != nil {
+		c.shx.fail(err)
+	}
+}
+
+// controlFlush exchanges and commits the terminations (and any charges)
+// decided by the control event that just fired, so every replica observes
+// them — in the identical order — before the next control event or lane
+// window runs. It is the executor's per-control-event hook; hosts whose
+// control callbacks read replicated state after mutating it (e.g. a ticker
+// predicate checking for drained requests right after a sync tick) call
+// ControlFlush explicitly first. No-op outside a multi-group topology; an
+// all-empty exchange (the common case) is a valid empty-drain round.
+func (c *Cluster) controlFlush() error {
+	if c.shx == nil {
+		return nil
+	}
+	return c.exchangeBarrier(nil)
+}
+
+// ControlFlush is the host-facing controlFlush: call it inside a control
+// callback after any state mutation whose effects (dropped or completed
+// requests) the same callback subsequently reads. Errors abort the run via
+// the executor.
+func (c *Cluster) ControlFlush() {
+	if c.shx == nil {
+		return
+	}
+	if err := c.controlFlush(); err != nil {
+		c.fail(err)
+	}
+}
+
+// exchangeBarrier is the multi-group window barrier: all-gather this
+// group's cross-group posts, pending termination intents and buffered
+// charges; deliver the incoming posts in mailbox order; apply the merged
+// charges (integer sums — order-free) and commit the merged intents in the
+// global deterministic order. Control flushes reuse it with nil posts.
+func (c *Cluster) exchangeBarrier(posts []WirePost) error {
+	msg := BarrierMsg{
+		Group:   int32(c.topo.Group),
+		Posts:   posts,
+		Intents: c.bridge.encodeIntents(),
+		Charges: c.encodeCharges(),
+		Merges:  c.encodeMergeResets(),
+	}
+	all, err := c.tr.Barrier(msg)
+	if err != nil {
+		return err
+	}
+	for i := range all {
+		bm := &all[i]
+		if int(bm.Group) == c.topo.Group {
+			continue
+		}
+		for _, wp := range bm.Posts {
+			if !c.owns(int(wp.Dst)) {
+				continue
+			}
+			req := c.resolve(wp.Req)
+			if req == nil {
+				return fmt.Errorf("sched: post for unknown request %d from group %d", wp.Req, bm.Group)
+			}
+			dst := c.modules[wp.Dst]
+			c.shx.stagePost(post{src: int(wp.Src), dst: int(wp.Dst), at: wp.At,
+				ev: laneEvent{name: "hop", op: opReceive, m: dst, req: req}})
+		}
+	}
+	c.shx.deliverStaged()
+	for i := range all {
+		for _, wc := range all[i].Charges {
+			req := c.resolve(wc.Req)
+			if req == nil {
+				return fmt.Errorf("sched: charge for unknown request %d from group %d", wc.Req, all[i].Group)
+			}
+			req.charge(wc.GPU, wc.Q, wc.W, wc.D)
+		}
+		if int(all[i].Group) == c.topo.Group {
+			continue // this replica armed its own resets inline in forward
+		}
+		for _, wm := range all[i].Merges {
+			req := c.resolve(wm.Req)
+			if req == nil {
+				return fmt.Errorf("sched: merge reset for unknown request %d from group %d", wm.Req, all[i].Group)
+			}
+			req.resetMerge(int(wm.Expected))
+		}
+	}
+	return c.bridge.commitWire(all, c.resolve)
+}
+
+// encodeCharges drains every owned module's charge buffer into wire shape,
+// in (module, decision order).
+func (c *Cluster) encodeCharges() []WireCharge {
+	var out []WireCharge
+	for k, m := range c.modules {
+		for i := range m.charges {
+			ch := &m.charges[i]
+			out = append(out, WireCharge{Mod: int32(k), Req: ch.req.ID, GPU: ch.gpu, Q: ch.q, W: ch.w, D: ch.d})
+		}
+		m.charges = m.charges[:0]
+	}
+	return out
 }
 
 // SyncTick runs one state-synchronization round (§4.1 steps ①-③): every
@@ -349,18 +486,59 @@ func (c *Cluster) SyncTick(now time.Duration) {
 			// Publication is module-local (each module sorts its own state
 			// windows and writes its own board slot), so it fans out across
 			// the shards; the policy refresh below stays serial — it reads
-			// the whole board and draws from the shared policy stream.
-			c.ls.parallelLanes(func(k int) { c.modules[k].publish(now, c.board) })
+			// the whole board and draws from the shared policy stream. In a
+			// multi-group topology only owned modules have state to publish;
+			// the board exchange below fills in the peers' rows before the
+			// (replicated) policy refresh reads the full board.
+			c.ls.parallelLanes(func(k int) {
+				if c.owns(k) {
+					c.modules[k].publish(now, c.board)
+				}
+			})
 		} else {
 			for _, m := range c.modules {
 				m.publish(now, c.board)
 			}
 		}
+		if err := c.exchangeBoard(); err != nil {
+			c.fail(err)
+			return
+		}
 		c.pol.OnSync(now, c.board)
 		for _, m := range c.modules {
-			m.probePriority(now, c.board)
+			if c.owns(m.idx) {
+				m.probePriority(now, c.board)
+			}
 		}
 	})
+}
+
+// exchangeBoard all-gathers the owned board rows so every replica's board —
+// and therefore every replica's policy refresh — sees the identical
+// cluster-wide state. No-op outside a multi-group topology.
+func (c *Cluster) exchangeBoard() error {
+	if c.shx == nil {
+		return nil
+	}
+	rows := make([]WireBoardRow, 0, (len(c.modules)+c.topo.Groups-1)/c.topo.Groups)
+	for k := range c.modules {
+		if c.owns(k) {
+			rows = append(rows, WireBoardRow{Mod: int32(k), State: c.board.Get(k)})
+		}
+	}
+	all, err := c.tr.Board(BoardMsg{Group: int32(c.topo.Group), Rows: rows})
+	if err != nil {
+		return err
+	}
+	for i := range all {
+		if int(all[i].Group) == c.topo.Group {
+			continue
+		}
+		for _, r := range all[i].Rows {
+			c.board.Publish(int(r.Mod), r.State)
+		}
+	}
+	return nil
 }
 
 // ScaleTick runs one scaling-engine round: per-module demand from recent
@@ -373,18 +551,60 @@ func (c *Cluster) ScaleTick(now time.Duration) {
 	c.control(func() {
 		desired := make([]int, len(c.modules))
 		for k, m := range c.modules {
-			desired[k] = m.desiredWorkers(now)
+			if c.owns(k) {
+				desired[k] = m.desiredWorkers(now)
+			}
+		}
+		if err := c.exchangeScale(desired); err != nil {
+			c.fail(err)
+			return
 		}
 		ApplyGPUBudget(desired, c.cfg.Scaling.TotalGPUs, c.cfg.Scaling.MinWorkers)
 		for k, m := range c.modules {
-			m.applyScale(now, desired[k])
+			if c.owns(k) {
+				m.applyScale(now, desired[k])
+			}
 		}
 	})
 }
 
+// exchangeScale all-gathers the owned modules' scaling demands so every
+// replica applies the identical GPU-budget split. No-op outside a
+// multi-group topology.
+func (c *Cluster) exchangeScale(desired []int) error {
+	if c.shx == nil {
+		return nil
+	}
+	rows := make([]WireScaleRow, 0, (len(c.modules)+c.topo.Groups-1)/c.topo.Groups)
+	for k := range c.modules {
+		if c.owns(k) {
+			rows = append(rows, WireScaleRow{Mod: int32(k), Desired: int32(desired[k])})
+		}
+	}
+	all, err := c.tr.Scale(ScaleMsg{Group: int32(c.topo.Group), Rows: rows})
+	if err != nil {
+		return err
+	}
+	for i := range all {
+		if int(all[i].Group) == c.topo.Group {
+			continue
+		}
+		for _, r := range all[i].Rows {
+			desired[r.Mod] = int(r.Desired)
+		}
+	}
+	return nil
+}
+
 // Crash kills up to count active workers of module k (§2 machine failure),
-// returning how many actually died.
+// returning how many actually died. In a multi-group topology the failure
+// event is replicated on every control lane but only the owner's workers
+// hold state: non-owners no-op (returning 0) and learn the resulting drops
+// at the post-event control flush.
 func (c *Cluster) Crash(k int, now time.Duration, count int) int {
+	if !c.owns(k) {
+		return 0
+	}
 	killed := 0
 	c.control(func() { killed = c.modules[k].crash(now, count) })
 	return killed
@@ -404,10 +624,15 @@ func (c *Cluster) scheduleWarmup(w *worker, at time.Duration) {
 // barrier runs at every lane-window barrier (all lanes parked): first the
 // lanes' batched per-request accounting merges into the shared Requests,
 // then deferred terminations commit — in that order, so host OnDone/OnDrop
-// callbacks observe complete sums.
-func (c *Cluster) barrier() {
+// callbacks observe complete sums. In a multi-group topology the same
+// sequencing runs over the all-gathered payloads of every group.
+func (c *Cluster) barrier() error {
+	if c.shx != nil {
+		return c.exchangeBarrier(c.shx.takeWirePosts())
+	}
 	c.flushCharges()
 	c.bridge.commit()
+	return nil
 }
 
 // flushCharges applies every module's buffered charge records in (module,
@@ -433,14 +658,27 @@ func (c *Cluster) retired(req *Request, k int) bool {
 	if req.Dropped || req.Finished {
 		return true
 	}
-	return c.bridge != nil && c.bridge.sees(k, req)
+	if c.bridge == nil {
+		return false
+	}
+	if c.inControl && c.shx != nil {
+		// Multi-group control context defers terminations that a single
+		// group would commit immediately — and immediately-visible to every
+		// module within the same control event (e.g. a scale-induced drop at
+		// one module seen by a parallel DAG branch at another). The whole
+		// pending set reproduces that visibility.
+		return c.bridge.seesAny(req)
+	}
+	return c.bridge.sees(k, req)
 }
 
 // drop marks a request dropped at module k and notifies the host. In lane
 // mode the decision is deferred to the next barrier commit, keeping the
-// shared Request untouched while other lanes run.
+// shared Request untouched while other lanes run. Multi-group control
+// context also defers (committed at the post-event control flush): the
+// decision is owner-local knowledge until exchanged.
 func (c *Cluster) drop(req *Request, k int, now time.Duration) {
-	if c.bridge != nil && !c.inControl {
+	if c.bridge != nil && (!c.inControl || c.shx != nil) {
 		if c.retired(req, k) {
 			return
 		}
@@ -476,17 +714,40 @@ func (c *Cluster) forward(req *Request, k int, now time.Duration) {
 	arrive := now + c.cfg.NetDelay
 	if mod.Exclusive {
 		sub := mod.Subs[c.pickBranch(mod)]
-		req.resetMerge(1)
+		c.resetMerge(req, k, now, 1)
 		c.scheduleEvent(k, sub, arrive, laneEvent{name: "hop", op: opReceive, m: c.modules[sub], req: req})
 		return
 	}
 	subs := mod.Subs
 	if len(subs) > 1 {
-		req.resetMerge(len(subs))
+		c.resetMerge(req, k, now, len(subs))
 	}
 	for _, sub := range subs {
 		c.scheduleEvent(k, sub, arrive, laneEvent{name: "hop", op: opReceive, m: c.modules[sub], req: req})
 	}
+}
+
+// resetMerge arms the request's merge bookkeeping for the next fan-out
+// region. In a multi-group topology the arm also rides the next barrier to
+// the peer replicas (see WireMergeReset): the merge module's owner reads
+// ExpectedMerge, and only the fan-out owner runs this code.
+func (c *Cluster) resetMerge(req *Request, k int, now time.Duration, n int) {
+	req.resetMerge(n)
+	if c.shx != nil {
+		m := c.modules[k]
+		m.mergeResets = append(m.mergeResets, WireMergeReset{At: now, Mod: int32(k), Req: req.ID, Expected: int32(n)})
+	}
+}
+
+// encodeMergeResets drains every module's buffered merge-arms in (module,
+// decision order).
+func (c *Cluster) encodeMergeResets() []WireMergeReset {
+	var out []WireMergeReset
+	for _, m := range c.modules {
+		out = append(out, m.mergeResets...)
+		m.mergeResets = m.mergeResets[:0]
+	}
+	return out
 }
 
 // pickBranch selects one successor index for an exclusive fan-out, drawn
@@ -510,7 +771,7 @@ func (c *Cluster) pickBranch(mod pipeline.Module) int {
 // complete finalizes a request that finished the sink module k. Like drop,
 // it defers to the barrier commit in lane mode.
 func (c *Cluster) complete(req *Request, k int, now time.Duration) {
-	if c.bridge != nil && !c.inControl {
+	if c.bridge != nil && (!c.inControl || c.shx != nil) {
 		if c.retired(req, k) {
 			return
 		}

@@ -37,6 +37,14 @@ import (
 // execution stays correct and deterministic, merely without parallelism.
 //
 // A ShardedExecutor is single-use: build, schedule initial events, Run.
+//
+// With a multi-group Topology (NewShardedExecutorTopo), the executor is one
+// lane group of a replicated cluster: it executes only the lanes it owns,
+// exchanges its low watermark and cross-group mailbox posts through the
+// Transport each iteration, and verifies control-lane lockstep against its
+// peers — see transport.go for the distribution model. The single-group
+// path never touches the Transport and is bit- and allocation-identical to
+// the pre-topology executor.
 type ShardedExecutor struct {
 	lookahead time.Duration
 	shards    int
@@ -48,10 +56,19 @@ type ShardedExecutor struct {
 	running  bool
 	fired    uint64
 
-	barrierFn func()
+	barrierFn func() error
 	mailbox   []post // barrier-scope scratch for merged outboxes
 
 	pool *shardPool
+
+	// Lane-group state (zero/nil on the single-group path).
+	topo      Topology
+	tr        Transport
+	ctrlHook  func() error // runs after every control event (multi-group)
+	err       error        // first transport/lockstep error; aborts the run
+	wireOut   []WirePost   // this window's cross-group posts (handed off per barrier)
+	staged    []post       // this barrier's local + decoded remote posts
+	laneFired uint64
 }
 
 // laneEvent is one scheduled event inside a lane. The hot-path kinds —
@@ -172,6 +189,49 @@ func NewShardedExecutor(lanes, shards int, lookahead time.Duration) *ShardedExec
 	return x
 }
 
+// NewShardedExecutorTopo builds an executor running one lane group of a
+// multi-group topology over the given transport. With a single-group
+// topology the transport may be nil and the executor is identical to
+// NewShardedExecutor's.
+func NewShardedExecutorTopo(lanes, shards int, lookahead time.Duration, topo Topology, tr Transport) (*ShardedExecutor, error) {
+	if err := topo.validate(); err != nil {
+		return nil, err
+	}
+	if !topo.single() && tr == nil {
+		return nil, fmt.Errorf("sched: %d lane groups need a transport", topo.Groups)
+	}
+	x := NewShardedExecutor(lanes, shards, lookahead)
+	x.topo = topo
+	if !topo.single() {
+		x.tr = tr
+	}
+	return x, nil
+}
+
+// multi reports whether this executor is one group of a multi-group run.
+func (x *ShardedExecutor) multi() bool { return x.tr != nil }
+
+// Topology returns the executor's lane-group placement (zero value on the
+// single-group path).
+func (x *ShardedExecutor) Topology() Topology { return x.topo }
+
+// Err returns the error that aborted the run, if any: a transport failure,
+// a control-lane lockstep divergence, or a non-wire event reaching the
+// group boundary. Multi-group hosts must check it after Run.
+func (x *ShardedExecutor) Err() error { return x.err }
+
+// fail records the first fatal error and poisons the transport so peer
+// groups abort instead of hanging at their next rendezvous.
+func (x *ShardedExecutor) fail(err error) {
+	if err == nil || x.err != nil {
+		return
+	}
+	x.err = err
+	if x.tr != nil {
+		x.tr.Abort(err)
+	}
+}
+
 // Lanes returns the lane count (the cluster's module count).
 func (x *ShardedExecutor) Lanes() int { return len(x.lanes) }
 
@@ -235,6 +295,12 @@ func (x *ShardedExecutor) scheduleLane(src, dst int, at time.Duration, name stri
 func (x *ShardedExecutor) scheduleLaneEvent(src, dst int, at time.Duration, ev laneEvent) {
 	l := x.lanes[dst]
 	if src < 0 || !x.running {
+		// Host/control context is replicated across lane groups: every group
+		// executes this schedule, so a group only enqueues events for lanes
+		// it owns — the owner's identical copy is the one that runs.
+		if x.tr != nil && !x.topo.owns(dst) {
+			return
+		}
 		if at < x.frontier {
 			at = x.frontier
 		}
@@ -254,8 +320,53 @@ func (x *ShardedExecutor) scheduleLaneEvent(src, dst int, at time.Duration, ev l
 
 // setBarrierHook registers fn to run at every window barrier (after mailbox
 // delivery, with all lanes parked). The cluster uses it to commit deferred
-// drop/completion intents in deterministic order.
-func (x *ShardedExecutor) setBarrierHook(fn func()) { x.barrierFn = fn }
+// drop/completion intents in deterministic order; in a multi-group topology
+// the hook also performs the barrier exchange, and its error aborts the run.
+func (x *ShardedExecutor) setBarrierHook(fn func() error) { x.barrierFn = fn }
+
+// setControlHook registers fn to run after every control event. The cluster
+// uses it in multi-group mode to exchange and commit control-context
+// terminations, keeping the replicas lockstep-identical between events.
+func (x *ShardedExecutor) setControlHook(fn func() error) { x.ctrlHook = fn }
+
+// takeWirePosts hands off this window's cross-group posts. Ownership moves
+// to the caller (the slice goes on the wire or into a peer's hands), so the
+// buffer is not recycled.
+func (x *ShardedExecutor) takeWirePosts() []WirePost {
+	out := x.wireOut
+	x.wireOut = nil
+	return out
+}
+
+// stagePost adds one post (local, or decoded from a peer group) to the
+// barrier's pending delivery set.
+func (x *ShardedExecutor) stagePost(p post) { x.staged = append(x.staged, p) }
+
+// deliverStaged pushes the staged posts into their destination lanes in
+// mailbox order. Equal (time, source) runs never span groups — a source
+// lane lives in exactly one group — so the stable sort reproduces the exact
+// single-process delivery order regardless of group count.
+func (x *ShardedExecutor) deliverStaged() {
+	if len(x.staged) == 0 {
+		return
+	}
+	sortPosts(x.staged)
+	for i := range x.staged {
+		p := &x.staged[i]
+		x.lanes[p.dst].push(p.at, p.ev)
+	}
+	x.staged = x.staged[:0]
+}
+
+// encodeWirePost converts one cross-group post to its wire shape. Only the
+// typed receive op may cross the boundary; a closure reaching the wire is a
+// programming error and aborts the run loudly.
+func encodeWirePost(p *post) (WirePost, error) {
+	if p.ev.op != opReceive || p.ev.fn != nil || p.ev.req == nil {
+		return WirePost{}, fmt.Errorf("sched: event %q (op %d) cannot cross lane groups: only typed receive events are wire-shaped", p.ev.name, p.ev.op)
+	}
+	return WirePost{At: p.at, Src: int32(p.src), Dst: int32(p.dst), Req: p.ev.req.ID}, nil
+}
 
 // minLane returns the low watermark: the earliest pending lane timestamp.
 func (x *ShardedExecutor) minLane() (time.Duration, bool) {
@@ -270,7 +381,10 @@ func (x *ShardedExecutor) minLane() (time.Duration, bool) {
 }
 
 // runControl fires every control event at exactly time t, including ones the
-// callbacks schedule at t.
+// callbacks schedule at t. In multi-group mode the control hook runs after
+// each event so replicated state commits in lockstep before the next event
+// (or any predicate evaluated by the event's own closure sequencing) reads
+// it.
 func (x *ShardedExecutor) runControl(t time.Duration) {
 	for {
 		_, key, ok := x.ctrl.q.PeekMin()
@@ -283,6 +397,14 @@ func (x *ShardedExecutor) runControl(t time.Duration) {
 		}
 		x.ctrl.fired++
 		ev.fire(t)
+		if x.ctrlHook != nil {
+			if err := x.ctrlHook(); err != nil {
+				x.fail(err)
+			}
+		}
+		if x.err != nil {
+			return
+		}
 	}
 }
 
@@ -335,6 +457,26 @@ func (x *ShardedExecutor) flushOutboxes() {
 	if len(all) == 0 {
 		return
 	}
+	if x.tr != nil {
+		// Multi-group: split the merged outbox into locally-owned posts
+		// (staged for delivery after the barrier exchange, merged with the
+		// peers' incoming posts) and cross-group posts (encoded for the
+		// wire; the barrier hook hands them to the transport).
+		for i := range all {
+			p := &all[i]
+			if x.topo.owns(p.dst) {
+				x.staged = append(x.staged, *p)
+				continue
+			}
+			wp, err := encodeWirePost(p)
+			if err != nil {
+				x.fail(err)
+				return
+			}
+			x.wireOut = append(x.wireOut, wp)
+		}
+		return
+	}
 	sortPosts(all)
 	for i := range all {
 		p := &all[i]
@@ -342,9 +484,38 @@ func (x *ShardedExecutor) flushOutboxes() {
 	}
 }
 
+// stepExchange all-reduces the per-iteration step state across lane groups:
+// it verifies the replicated control lane is in lockstep (aborting on
+// divergence — never drifting silently) and returns the global low
+// watermark over every group's owned lanes.
+func (x *ShardedExecutor) stepExchange(tCtrl time.Duration, okC bool, tLane time.Duration, okL bool) (time.Duration, bool) {
+	all, err := x.tr.Step(StepMsg{
+		Group:  int32(x.topo.Group),
+		CtrlAt: tCtrl, CtrlOK: okC,
+		LaneAt: tLane, LaneOK: okL,
+	})
+	if err != nil {
+		x.fail(err)
+		return 0, false
+	}
+	gLane, gOK := time.Duration(0), false
+	for _, m := range all {
+		if m.CtrlOK != okC || (okC && m.CtrlAt != tCtrl) {
+			x.fail(fmt.Errorf("sched: control-lane divergence: group %d next control (%v,%t), group %d (%v,%t)",
+				x.topo.Group, tCtrl, okC, m.Group, m.CtrlAt, m.CtrlOK))
+			return 0, false
+		}
+		if m.LaneOK && (!gOK || m.LaneAt < gLane) {
+			gLane, gOK = m.LaneAt, true
+		}
+	}
+	return gLane, gOK
+}
+
 // Run drives the event loop to completion: alternating control rounds and
 // barrier-synchronized lane windows until every queue drains. It returns the
-// final virtual time.
+// final virtual time. Multi-group hosts must check Err afterwards: a
+// transport failure or lockstep divergence aborts the loop cleanly.
 func (x *ShardedExecutor) Run() time.Duration {
 	if x.running {
 		panic("sched: ShardedExecutor.Run called twice")
@@ -354,16 +525,29 @@ func (x *ShardedExecutor) Run() time.Duration {
 		x.pool = newShardPool(x.lanes, x.shards)
 		defer x.pool.stop()
 	}
-	for {
+	defer func() {
+		x.running = false
+		lane := uint64(0)
+		for _, l := range x.lanes {
+			lane += l.fired
+		}
+		x.laneFired = lane
+		x.fired = x.ctrl.fired + lane
+	}()
+	for x.err == nil {
 		tCtrl, okC := x.ctrl.peek()
 		tLane, okL := x.minLane()
+		if x.tr != nil {
+			// The watermark is a global minimum over every group's owned
+			// lanes; the control queues must agree exactly (they are
+			// replicated), which stepExchange verifies.
+			tLane, okL = x.stepExchange(tCtrl, okC, tLane, okL)
+			if x.err != nil {
+				break
+			}
+		}
 		switch {
 		case !okC && !okL:
-			x.running = false
-			x.fired = x.ctrl.fired
-			for _, l := range x.lanes {
-				x.fired += l.fired
-			}
 			return x.frontier
 		case okC && (!okL || tCtrl <= tLane):
 			// Control precedes lane events at equal timestamps.
@@ -379,15 +563,24 @@ func (x *ShardedExecutor) Run() time.Duration {
 			}
 			x.runWindow(tLane, hi)
 			x.flushOutboxes()
-			if x.barrierFn != nil {
-				x.barrierFn()
+			if x.barrierFn != nil && x.err == nil {
+				if err := x.barrierFn(); err != nil {
+					x.fail(err)
+				}
 			}
 			if hi > x.frontier {
 				x.frontier = hi
 			}
 		}
 	}
+	return x.frontier
 }
+
+// FiredControl returns the replicated control-lane event count.
+func (x *ShardedExecutor) FiredControl() uint64 { return x.ctrl.fired }
+
+// FiredLanes returns the event count of this executor's (owned) lanes.
+func (x *ShardedExecutor) FiredLanes() uint64 { return x.laneFired }
 
 // parallelLanes runs fn(lane) for every lane, fanned out across the shard
 // pool when one is live (control/barrier context between windows), inline

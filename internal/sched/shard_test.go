@@ -117,7 +117,7 @@ func TestShardedExecutorControlFirst(t *testing.T) {
 	x := NewShardedExecutor(2, 2, 5)
 	var order []string
 	barriers := 0
-	x.setBarrierHook(func() { barriers++ })
+	x.setBarrierHook(func() error { barriers++; return nil })
 	x.Schedule(10, "ctrl", func(now time.Duration) { order = append(order, "ctrl") })
 	x.scheduleLane(-1, 0, 10, "lane", func(now time.Duration) { order = append(order, "lane") })
 	x.Run()

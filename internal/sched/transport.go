@@ -1,0 +1,379 @@
+package sched
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"pard/internal/core"
+	"pard/internal/metrics"
+)
+
+// This file defines the lane-group boundary of the sharded engine: the
+// Topology that places per-module event lanes into lane groups, the
+// wire-shaped payloads that cross the boundary, and the Transport interface
+// the exchanges flow through.
+//
+// The distribution model is a replicated cluster in lockstep. Every lane
+// group process builds the FULL cluster — all modules, workers, probes and
+// the complete request slab — but only executes the lanes it owns
+// (module k belongs to group k % Groups). Control-lane events (sync ticks,
+// scaling ticks, injected failures) are replicated: every group schedules
+// and fires them identically, with owner-only guards inside. Four exchange
+// kinds keep the replicas bit-identical:
+//
+//   - Step: per-iteration low-watermark all-reduce (global minimum lane
+//     time) plus a control-lane lockstep check — diverging control queues
+//     abort the run, never silently drift.
+//   - Barrier: the window barrier's combined payload — cross-group mailbox
+//     posts, deferred termination intents, and batched per-request charges —
+//     all-gathered so every group applies the identical merged commit.
+//   - Board / Scale: sync-tick board rows and scaling-demand rows
+//     all-gathered between the owner-local measure phase and the replicated
+//     decide phase.
+//   - Finish: end-of-run per-module reports (probes, peak workers, lane
+//     event counts) so any group can assemble the full result.
+//
+// Merges are deterministic by construction: per-group contributions are
+// gathered in (local module order, decision/send order) and concatenated in
+// group order; items with equal sort keys always originate from a single
+// module — hence a single group — so the stable sorts reproduce the exact
+// single-process order.
+//
+// memTransport (below) is the in-process implementation backing
+// Config.Groups > 1 and the unit harness. The cross-host gob implementation
+// lives in internal/dist, built on its framing/handshake discipline.
+
+// Topology places the per-module event lanes into lane groups. Ownership is
+// derived, not configured: lane k belongs to group k % Groups (round-robin,
+// so contiguous pipeline stages land in different groups — the adversarial
+// placement for the determinism harness). The zero value is the
+// single-group topology.
+type Topology struct {
+	// Groups is the lane-group count; 0 and 1 both mean single-group.
+	Groups int
+	// Group is this process's group index in [0, Groups).
+	Group int
+}
+
+// single reports whether the topology degenerates to one group.
+func (t Topology) single() bool { return t.Groups <= 1 }
+
+// owns reports whether this group executes lane k.
+func (t Topology) owns(lane int) bool { return t.Groups <= 1 || lane%t.Groups == t.Group }
+
+// Owns is the exported owns: hosts assembling per-module results ask it
+// which modules this group holds authoritative state for.
+func (t Topology) Owns(lane int) bool { return t.owns(lane) }
+
+// OwnerOf returns the group index owning lane k.
+func (t Topology) OwnerOf(lane int) int {
+	if t.Groups <= 1 {
+		return 0
+	}
+	return lane % t.Groups
+}
+
+func (t Topology) validate() error {
+	if t.Groups < 0 {
+		return fmt.Errorf("sched: negative lane-group count %d", t.Groups)
+	}
+	if t.Groups > 1 && (t.Group < 0 || t.Group >= t.Groups) {
+		return fmt.Errorf("sched: lane group %d out of range [0,%d)", t.Group, t.Groups)
+	}
+	return nil
+}
+
+// WirePost is one cross-group mailbox post. Only the typed by-value receive
+// op crosses the boundary — request arrivals and DAG hops; closures must
+// not (the executor aborts loudly if one reaches the wire). Requests travel
+// by ID and are resolved against the receiving group's replica slab.
+type WirePost struct {
+	At  time.Duration
+	Src int32
+	Dst int32
+	Req uint64
+}
+
+// WireIntent is one deferred request termination (drop or sink completion)
+// decided inside the current window or control event.
+type WireIntent struct {
+	At   time.Duration
+	Mod  int32
+	Req  uint64
+	Drop bool
+}
+
+// WireCharge is one batched per-request accounting record. Charges are
+// integer-duration sums, so the merged apply order is immaterial; they are
+// exchanged so every replica holds complete Request sums before intents
+// commit (host OnDone callbacks observe complete decompositions).
+type WireCharge struct {
+	Mod    int32
+	Req    uint64
+	GPU, Q time.Duration
+	W, D   time.Duration
+}
+
+// WireMergeReset arms the DAG merge bookkeeping on every replica. Only the
+// fan-out module's owner executes forward (and thus resetMerge), but the
+// region's merge module — possibly owned by another group — reads the
+// expected branch count. Exchanged at the barrier following the fan-out,
+// which is always strictly before any branch copy reaches the merge module
+// (arrivals land at least one window later), so replicas arm in time.
+type WireMergeReset struct {
+	At       time.Duration
+	Mod      int32 // the fan-out module
+	Req      uint64
+	Expected int32
+}
+
+// StepMsg is one group's contribution to the per-iteration low-watermark
+// exchange. CtrlAt/CtrlOK must be identical across groups (the control lane
+// is replicated); the executor verifies this and aborts on divergence.
+type StepMsg struct {
+	Group  int32
+	CtrlAt time.Duration
+	CtrlOK bool
+	LaneAt time.Duration
+	LaneOK bool
+}
+
+// BarrierMsg is one group's window-barrier payload: cross-group posts,
+// termination intents, and charge records, each in deterministic local
+// order. Control-event flushes reuse the same shape with only Intents set;
+// an all-empty exchange (an empty-drain round) is valid and common.
+type BarrierMsg struct {
+	Group   int32
+	Posts   []WirePost
+	Intents []WireIntent
+	Charges []WireCharge
+	Merges  []WireMergeReset
+}
+
+// WireBoardRow carries one owned module's published state to the replicas.
+type WireBoardRow struct {
+	Mod   int32
+	State core.ModuleState
+}
+
+// BoardMsg is one group's sync-tick board contribution.
+type BoardMsg struct {
+	Group int32
+	Rows  []WireBoardRow
+}
+
+// WireScaleRow carries one owned module's scaling demand.
+type WireScaleRow struct {
+	Mod     int32
+	Desired int32
+}
+
+// ScaleMsg is one group's scaling-tick contribution.
+type ScaleMsg struct {
+	Group int32
+	Rows  []WireScaleRow
+}
+
+// ModuleReport is one owned module's end-of-run report: everything the
+// result assembly needs that lives only on the owner (probes, peak
+// workers). Replicated state — request outcomes, drop counters, policy
+// internals — needs no wire: it is bit-identical in every group.
+type ModuleReport struct {
+	Mod         int32
+	Peak        int
+	QueueDelay  *metrics.Series
+	Load        *metrics.Series
+	Mode        *metrics.Series
+	Budget      *metrics.Series
+	Remain      *metrics.Series
+	WaitSamples []float64
+}
+
+// FinishMsg is one group's end-of-run contribution. LaneFired sums the
+// group's owned-lane event counts; the global event total is the replicated
+// control-lane count plus the sum of LaneFired over groups.
+type FinishMsg struct {
+	Group     int32
+	LaneFired uint64
+	Reports   []ModuleReport
+}
+
+// Transport carries the lane-group exchanges. Every method is a collective:
+// all groups call it with their own contribution in lockstep, and every
+// group receives the same merged slice ordered by group index. An error
+// from any method must abort the whole run on every group — the
+// implementations propagate failure rather than let replicas diverge
+// silently.
+//
+// The in-process implementation is memTransport; internal/dist provides the
+// cross-host gob implementation over its framed, handshake-checked TCP
+// protocol.
+type Transport interface {
+	Step(StepMsg) ([]StepMsg, error)
+	Barrier(BarrierMsg) ([]BarrierMsg, error)
+	Board(BoardMsg) ([]BoardMsg, error)
+	Scale(ScaleMsg) ([]ScaleMsg, error)
+	Finish(FinishMsg) ([]FinishMsg, error)
+	// Abort poisons the transport: every blocked or future exchange on any
+	// group returns the error. Called when a group fails locally so its
+	// peers stop instead of hanging at the next rendezvous.
+	Abort(error)
+}
+
+// exchangeKind tags a rendezvous so lockstep violations (one group at a
+// Step while another is at a Barrier) are detected, not deadlocked on.
+type exchangeKind uint8
+
+const (
+	kindStep exchangeKind = iota + 1
+	kindBarrier
+	kindBoard
+	kindScale
+	kindFinish
+)
+
+func (k exchangeKind) String() string {
+	switch k {
+	case kindStep:
+		return "step"
+	case kindBarrier:
+		return "barrier"
+	case kindBoard:
+		return "board"
+	case kindScale:
+		return "scale"
+	case kindFinish:
+		return "finish"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// memHub is the in-process rendezvous backing memTransport: a reusable
+// all-gather barrier over a mutex and condition variable. Each round, every
+// group deposits its message; the last arrival publishes the merged slice
+// (ordered by group index) and wakes the others.
+type memHub struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	arrived int
+	round   uint64
+	kind    exchangeKind
+	inbox   []any
+	out     []any
+	err     error
+}
+
+func newMemHub(n int) *memHub {
+	h := &memHub{n: n, inbox: make([]any, n)}
+	h.cond = sync.NewCond(&h.mu)
+	return h
+}
+
+// exchange deposits group g's message for one round and blocks until every
+// group has arrived, returning the merged contributions in group order.
+func (h *memHub) exchange(g int, kind exchangeKind, msg any) ([]any, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.err != nil {
+		return nil, h.err
+	}
+	if h.arrived == 0 {
+		h.kind = kind
+	} else if h.kind != kind {
+		err := fmt.Errorf("sched: lane-group lockstep divergence: group %d exchanging %v while round is %v", g, kind, h.kind)
+		h.failLocked(err)
+		return nil, err
+	}
+	h.inbox[g] = msg
+	myRound := h.round
+	h.arrived++
+	if h.arrived == h.n {
+		out := make([]any, h.n)
+		copy(out, h.inbox)
+		h.out = out
+		h.arrived = 0
+		h.round++
+		h.cond.Broadcast()
+		return out, nil
+	}
+	for h.round == myRound && h.err == nil {
+		h.cond.Wait()
+	}
+	if h.err != nil {
+		return nil, h.err
+	}
+	return h.out, nil
+}
+
+func (h *memHub) abort(err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.failLocked(err)
+}
+
+func (h *memHub) failLocked(err error) {
+	if h.err == nil && err != nil {
+		h.err = err
+		h.cond.Broadcast()
+	}
+}
+
+// memTransport is one group's endpoint on an in-process hub: today's
+// shared-memory behavior expressed through the Transport seam. The
+// single-group fast path never reaches a Transport at all (exchanges are
+// skipped entirely when Topology.single()), which is what keeps the
+// in-process hot loop allocation-free under the TestAllocs* floors.
+type memTransport struct {
+	hub   *memHub
+	group int
+}
+
+// NewMemTransports builds an in-process lane-group fabric: one connected
+// Transport endpoint per group.
+func NewMemTransports(groups int) []Transport {
+	if groups < 1 {
+		panic(fmt.Sprintf("sched: NewMemTransports needs >= 1 groups, got %d", groups))
+	}
+	hub := newMemHub(groups)
+	ts := make([]Transport, groups)
+	for g := range ts {
+		ts[g] = &memTransport{hub: hub, group: g}
+	}
+	return ts
+}
+
+func (t *memTransport) Step(m StepMsg) ([]StepMsg, error) {
+	return gatherAs[StepMsg](t, kindStep, m)
+}
+
+func (t *memTransport) Barrier(m BarrierMsg) ([]BarrierMsg, error) {
+	return gatherAs[BarrierMsg](t, kindBarrier, m)
+}
+
+func (t *memTransport) Board(m BoardMsg) ([]BoardMsg, error) {
+	return gatherAs[BoardMsg](t, kindBoard, m)
+}
+
+func (t *memTransport) Scale(m ScaleMsg) ([]ScaleMsg, error) {
+	return gatherAs[ScaleMsg](t, kindScale, m)
+}
+
+func (t *memTransport) Finish(m FinishMsg) ([]FinishMsg, error) {
+	return gatherAs[FinishMsg](t, kindFinish, m)
+}
+
+func (t *memTransport) Abort(err error) { t.hub.abort(err) }
+
+func gatherAs[T any](t *memTransport, kind exchangeKind, msg T) ([]T, error) {
+	raw, err := t.hub.exchange(t.group, kind, msg)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]T, len(raw))
+	for i, v := range raw {
+		out[i] = v.(T)
+	}
+	return out, nil
+}

@@ -107,6 +107,28 @@ type Config struct {
 	// the sequential baseline of the differential harness). Must be 0 with
 	// Engine == EngineClassic: the classic heap has no lanes to shard.
 	Shards int
+	// Groups splits the lane engine's per-module lanes into N lane groups,
+	// each running a full cluster replica in lockstep over an in-process
+	// transport (module k belongs to group k % Groups). Results are
+	// bit-identical for every group count — determinism invariant #5 — and
+	// 0 and 1 both mean the ungrouped fast path. Lane engine only. The
+	// cross-host form of the same topology is configured via Remote.
+	Groups int
+	// Remote, when non-nil, runs THIS process as one lane group of a
+	// cross-host simulation over the given transport (set by the
+	// internal/dist glue — cmd/pard-sim -hosts / -join-sim — not by
+	// users). Mutually exclusive with Groups.
+	Remote *RemoteTopology
+}
+
+// RemoteTopology places this process in a cross-host lane-group topology.
+type RemoteTopology struct {
+	// Groups is the total lane-group (process) count; Group is this
+	// process's index in [0, Groups).
+	Groups, Group int
+	// Transport carries the lockstep exchanges, typically internal/dist's
+	// framed gob transport over TCP.
+	Transport sched.Transport
 }
 
 // Engine names accepted by Config.Engine.
@@ -131,12 +153,13 @@ var Warnf = func(format string, args ...any) { log.Printf(format, args...) }
 var classicWarned atomic.Bool
 
 // warnClassicDeprecated announces the classic engine's scheduled removal the
-// first time a run selects it.
+// first time a run selects it. The deprecation cycle granted at the
+// lane-engine default flip is now over: removal lands in the next PR.
 func warnClassicDeprecated() {
 	if classicWarned.CompareAndSwap(false, true) {
-		Warnf("simgpu: engine %q is deprecated and will be removed next cycle; "+
-			"the lane engine (the default) is bit-stable across shard counts and faster — "+
-			"drop -engine/Engine overrides to migrate", EngineClassic)
+		Warnf("simgpu: engine %q is deprecated and will be removed in the next PR; "+
+			"the lane engine (the default) is bit-stable across shard counts and lane-group "+
+			"topologies and faster — drop -engine/Engine overrides to migrate now", EngineClassic)
 	}
 }
 
@@ -198,6 +221,26 @@ func (c *Config) withDefaults() (Config, error) {
 	if out.Shards < 0 {
 		return out, fmt.Errorf("simgpu: negative shard count %d", out.Shards)
 	}
+	if out.Groups < 0 {
+		return out, fmt.Errorf("simgpu: negative lane-group count %d", out.Groups)
+	}
+	if out.Remote != nil {
+		if out.Groups > 1 {
+			return out, fmt.Errorf("simgpu: Groups and Remote are mutually exclusive")
+		}
+		if out.Remote.Groups < 2 || out.Remote.Group < 0 || out.Remote.Group >= out.Remote.Groups {
+			return out, fmt.Errorf("simgpu: remote lane group %d/%d out of range", out.Remote.Group, out.Remote.Groups)
+		}
+		if out.Remote.Transport == nil {
+			return out, fmt.Errorf("simgpu: remote topology needs a transport")
+		}
+	}
+	// A group per module is the finest useful split; clamping keeps the
+	// owner mapping (k % Groups) total. Normalized identically on every
+	// host, so shipping the raw config cross-host is safe.
+	if out.Groups > out.Spec.N() {
+		out.Groups = out.Spec.N()
+	}
 	switch out.Engine {
 	case "", EngineLane:
 		out.Engine = EngineLane
@@ -207,6 +250,9 @@ func (c *Config) withDefaults() (Config, error) {
 	case EngineClassic:
 		if out.Shards != 0 {
 			return out, fmt.Errorf("simgpu: engine %q has no lanes to shard (got Shards=%d); drop Shards or use the lane engine", EngineClassic, out.Shards)
+		}
+		if out.Groups > 1 || out.Remote != nil {
+			return out, fmt.Errorf("simgpu: engine %q has no lanes to group; lane-group topologies need the lane engine", EngineClassic)
 		}
 		warnClassicDeprecated()
 	default:

@@ -1,7 +1,10 @@
 package simgpu
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
+	"sync"
 	"time"
 
 	"pard/internal/core"
@@ -54,10 +57,20 @@ type Runner struct {
 	cl  *sched.Cluster
 
 	requests    []*sched.Request
+	slab        []sched.Request // backing store; wire request IDs index it
 	outstanding int
 
 	sumQ, sumW, sumD []float64
 	sampleCounter    int
+
+	// Lane-group placement (zero/nil outside a multi-group topology). Each
+	// group runner holds a complete cluster replica and executes only its
+	// owned lanes; reports carries the peers' owner-only per-module state
+	// (probes, peak workers) after the end-of-run Finish exchange.
+	topo    sched.Topology
+	tr      sched.Transport
+	reports map[int]*sched.ModuleReport
+	fired   uint64 // global event count from the Finish exchange
 }
 
 // New validates the configuration and assembles the cluster.
@@ -90,10 +103,25 @@ func New(cfg Config) (*Runner, error) {
 
 	r := &Runner{cfg: full}
 	var exec sched.Executor
-	if full.Engine == EngineClassic {
+	switch {
+	case full.Engine == EngineClassic:
 		r.eng = sim.New(full.Seed)
 		exec = sched.NewSimExecutor(r.eng)
-	} else {
+	case full.Remote != nil:
+		// One lane group of a multi-group topology: the full cluster is
+		// built as a replica, but only owned lanes (module k with
+		// k % Groups == Group) execute; everything else arrives through the
+		// transport's lockstep exchanges.
+		rt := full.Remote
+		r.topo = sched.Topology{Groups: rt.Groups, Group: rt.Group}
+		r.tr = rt.Transport
+		shx, err := sched.NewShardedExecutorTopo(full.Spec.N(), full.Shards, full.NetDelay, r.topo, r.tr)
+		if err != nil {
+			return nil, err
+		}
+		r.shx = shx
+		exec = shx
+	default:
 		// Lane engine: one event lane per module, up to Shards workers,
 		// conservative lookahead = the per-hop network delay.
 		r.shx = sched.NewShardedExecutor(full.Spec.N(), full.Shards, full.NetDelay)
@@ -117,6 +145,7 @@ func New(cfg Config) (*Runner, error) {
 		PriorityWindow:   full.PriorityWindow,
 		OnDone:           r.onDone,
 		OnDrop:           r.onDrop,
+		Resolve:          r.resolveRequest,
 	}, exec)
 	if err != nil {
 		return nil, err
@@ -143,13 +172,27 @@ func (r *Runner) onDrop(req *sched.Request, k int, now time.Duration) {
 	r.outstanding--
 }
 
+// resolveRequest maps a wire request ID back onto this process's slab — the
+// Resolve hook multi-group topologies use to rehydrate requests that crossed
+// the lane-group boundary by ID.
+func (r *Runner) resolveRequest(id uint64) *sched.Request {
+	if id < uint64(len(r.slab)) {
+		return &r.slab[id]
+	}
+	return nil
+}
+
 // inject schedules all trace arrivals as client sends into the source
 // module. Requests live in one slab — a single allocation instead of one
 // per arrival — and r.requests points into it (pointer identity per request
-// is preserved for the run's lifetime, which the core relies on).
+// is preserved for the run's lifetime, which the core relies on). In a
+// multi-group topology every replica injects the full trace: request i is
+// &slab[i] on every group, so wire IDs resolve to the same logical request
+// everywhere.
 func (r *Runner) inject() {
 	slo := r.cfg.Spec.SLO
-	slab := make([]sched.Request, r.cfg.Trace.Len())
+	r.slab = make([]sched.Request, r.cfg.Trace.Len())
+	slab := r.slab
 	r.requests = make([]*sched.Request, 0, len(slab))
 	for i, at := range r.cfg.Trace.Arrivals {
 		req := &slab[i]
@@ -177,10 +220,87 @@ func (r *Runner) Run() (*Result, error) {
 
 	if r.shx != nil {
 		r.runSharded()
+		if err := r.shx.Err(); err != nil {
+			return nil, err
+		}
+		if r.tr != nil {
+			if err := r.finishExchange(); err != nil {
+				r.tr.Abort(err)
+				return nil, err
+			}
+		}
 	} else {
 		r.runClassic()
 	}
 	return r.buildResult(), nil
+}
+
+// finishExchange all-gathers the end-of-run per-module reports so this
+// replica can assemble the full result: probes and peak workers live only on
+// the owning group, and the global event count is the replicated control-lane
+// count plus every group's owned-lane count.
+func (r *Runner) finishExchange() error {
+	n := r.cl.N()
+	msg := sched.FinishMsg{Group: int32(r.topo.Group), LaneFired: r.shx.FiredLanes()}
+	for k := 0; k < n; k++ {
+		if !r.topo.Owns(k) {
+			continue
+		}
+		p := r.cl.Probes(k)
+		msg.Reports = append(msg.Reports, sched.ModuleReport{
+			Mod:         int32(k),
+			Peak:        r.cl.PeakWorkers(k),
+			QueueDelay:  p.QueueDelay,
+			Load:        p.Load,
+			Mode:        p.Mode,
+			Budget:      p.Budget,
+			Remain:      p.Remain,
+			WaitSamples: p.WaitSamples,
+		})
+	}
+	all, err := r.tr.Finish(msg)
+	if err != nil {
+		return err
+	}
+	r.reports = make(map[int]*sched.ModuleReport, n)
+	r.fired = r.shx.FiredControl()
+	for i := range all {
+		r.fired += all[i].LaneFired
+		for j := range all[i].Reports {
+			rep := &all[i].Reports[j]
+			r.reports[int(rep.Mod)] = rep
+		}
+	}
+	if len(r.reports) != n {
+		return fmt.Errorf("simgpu: finish exchange covered %d of %d modules", len(r.reports), n)
+	}
+	return nil
+}
+
+// peakWorkers returns module k's peak worker count, consulting the owner's
+// report in a multi-group topology.
+func (r *Runner) peakWorkers(k int) int {
+	if r.reports != nil {
+		return r.reports[k].Peak
+	}
+	return r.cl.PeakWorkers(k)
+}
+
+// moduleProbes returns module k's probe outputs, consulting the owner's
+// report in a multi-group topology (probe series fill only on the owner).
+func (r *Runner) moduleProbes(k int) sched.ModuleProbes {
+	if r.reports != nil {
+		rep := r.reports[k]
+		return sched.ModuleProbes{
+			QueueDelay:  rep.QueueDelay,
+			Load:        rep.Load,
+			Mode:        rep.Mode,
+			Budget:      rep.Budget,
+			Remain:      rep.Remain,
+			WaitSamples: rep.WaitSamples,
+		}
+	}
+	return r.cl.Probes(k)
 }
 
 // runClassic drives the single global event heap.
@@ -217,13 +337,19 @@ func (r *Runner) runClassic() {
 // events run on the executor's serial control lane (every module lane
 // parked), exactly the cross-module context they need.
 func (r *Runner) runSharded() {
+	// The ControlFlush calls are multi-group no-ops made explicit: a tick's
+	// drops/completions are owner-local until exchanged, and the drained
+	// predicate right after must read the committed counts — on every
+	// replica — or the groups could disagree on when the run ends.
 	r.shx.Ticker(r.cfg.SyncPeriod, "sync", func(now time.Duration) bool {
 		r.cl.SyncTick(now)
+		r.cl.ControlFlush()
 		return !r.drained(now)
 	})
 	if r.cfg.Scaling.Enabled {
 		r.shx.Ticker(r.cfg.Scaling.Period, "scale", func(now time.Duration) bool {
 			r.cl.ScaleTick(now)
+			r.cl.ControlFlush()
 			return !r.drained(now)
 		})
 	}
@@ -267,9 +393,12 @@ func (r *Runner) buildResult() *Result {
 	}
 
 	fired := uint64(0)
-	if r.shx != nil {
+	switch {
+	case r.reports != nil:
+		fired = r.fired // control events once + every group's owned lanes
+	case r.shx != nil:
 		fired = r.shx.Fired()
-	} else if r.eng != nil {
+	case r.eng != nil:
 		fired = r.eng.Fired()
 	}
 	res := &Result{
@@ -289,17 +418,17 @@ func (r *Runner) buildResult() *Result {
 	for k := 0; k < n; k++ {
 		res.TargetBatches[k] = r.cl.TargetBatch(k)
 		res.ProfiledDurs[k] = r.cl.ProfiledDur(k)
-		res.PeakWorkers[k] = r.cl.PeakWorkers(k)
+		res.PeakWorkers[k] = r.peakWorkers(k)
 	}
 	if r.cfg.Probes.QueueDelay {
 		for k := 0; k < n; k++ {
-			res.QueueDelay = append(res.QueueDelay, r.cl.Probes(k).QueueDelay)
+			res.QueueDelay = append(res.QueueDelay, r.moduleProbes(k).QueueDelay)
 		}
 	}
 	if r.cfg.Probes.LoadFactor {
 		// Report the source module's controller (the module workload bursts
 		// hit first; Fig. 13 plots a single representative module).
-		src := r.cl.Probes(r.cfg.Spec.Source())
+		src := r.moduleProbes(r.cfg.Spec.Source())
 		res.LoadFactor = src.Load
 		res.ModeSeries = src.Mode
 		if pr, ok := r.cl.Policy().(interface {
@@ -316,24 +445,88 @@ func (r *Runner) buildResult() *Result {
 	}
 	if r.cfg.Probes.Budget {
 		for k := 0; k < n; k++ {
-			p := r.cl.Probes(k)
+			p := r.moduleProbes(k)
 			res.Consumed = append(res.Consumed, p.Budget)
 			res.Remaining = append(res.Remaining, p.Remain)
 		}
 	}
 	if r.cfg.Probes.Decomposition {
 		for k := 0; k < n; k++ {
-			res.WaitSamples = append(res.WaitSamples, r.cl.Probes(k).WaitSamples)
+			res.WaitSamples = append(res.WaitSamples, r.moduleProbes(k).WaitSamples)
 		}
 	}
 	return res
 }
 
 // Run is the one-call entry point: build a runner from cfg and execute it.
+// Config.Groups > 1 fans the run out over in-process lane-group replicas.
 func Run(cfg Config) (*Result, error) {
+	if cfg.Remote == nil {
+		full, err := cfg.withDefaults()
+		if err != nil {
+			return nil, err
+		}
+		if full.Groups > 1 {
+			return runGroups(cfg, full.Groups)
+		}
+	}
 	r, err := New(cfg)
 	if err != nil {
 		return nil, err
 	}
 	return r.Run()
+}
+
+// runGroups executes one run as `groups` in-process lane-group replicas over
+// a memTransport fabric, then verifies determinism invariant #5: every
+// replica must assemble the bit-identical result. Divergence is an error,
+// never a silent pick-one.
+//
+// Each goroutine gets the RAW config: withDefaults is not idempotent (the
+// NetDelay <= 0 sentinels), so normalization must happen exactly once per
+// replica — identically — rather than once here and again inside.
+func runGroups(cfg Config, groups int) (*Result, error) {
+	trs := sched.NewMemTransports(groups)
+	results := make([]*Result, groups)
+	errs := make([]error, groups)
+	var wg sync.WaitGroup
+	for g := 0; g < groups; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			gcfg := cfg
+			gcfg.Groups = 0
+			gcfg.Remote = &RemoteTopology{Groups: groups, Group: g, Transport: trs[g]}
+			res, err := Run(gcfg)
+			if err != nil {
+				// Poison the fabric so peer groups abort instead of hanging
+				// at their next exchange.
+				trs[g].Abort(err)
+				errs[g] = err
+				return
+			}
+			results[g] = res
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("simgpu: lane group %d/%d: %w", g, groups, err)
+		}
+	}
+	var ref []byte
+	for g, res := range results {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(res); err != nil {
+			return nil, fmt.Errorf("simgpu: encoding lane group %d result: %w", g, err)
+		}
+		if g == 0 {
+			ref = buf.Bytes()
+			continue
+		}
+		if !bytes.Equal(ref, buf.Bytes()) {
+			return nil, fmt.Errorf("simgpu: lane-group divergence: group %d result differs from group 0 (%d vs %d encoded bytes); determinism invariant #5 violated", g, buf.Len(), len(ref))
+		}
+	}
+	return results[0], nil
 }

@@ -42,6 +42,11 @@ type RunOpts struct {
 	// workers. Participates in the cache key when set, although lane
 	// results are byte-identical for every shard count.
 	Shards int
+	// Groups splits the lane engine into N in-process lane-group replicas
+	// in lockstep (see simgpu.Config.Groups). Participates in the cache key
+	// when set — mirroring Shards — although lane results are bit-identical
+	// for every group count (determinism invariant #5).
+	Groups int
 }
 
 // Spec identifies one grid point of a sweep: which pipeline, workload and
@@ -85,6 +90,9 @@ func (s Spec) Key() string {
 	fmt.Fprintf(&b, "|eng=%s", eng)
 	if o.Shards != 0 {
 		fmt.Fprintf(&b, "|sh=%d", o.Shards)
+	}
+	if o.Groups != 0 {
+		fmt.Fprintf(&b, "|topo=%d", o.Groups)
 	}
 	if s.Pipeline != nil {
 		// An explicit pipeline is keyed by its full structure: two
@@ -193,6 +201,7 @@ func (e *Engine) exec(s Spec, seed int64) (*simgpu.Result, error) {
 		Failures:       s.Opts.Failures,
 		Engine:         s.Opts.Engine,
 		Shards:         s.Opts.Shards,
+		Groups:         s.Opts.Groups,
 	})
 }
 
